@@ -1,0 +1,46 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark registers the paper-style table it regenerated via
+:func:`record_table`; the tables are printed in the terminal summary (so
+they survive pytest's output capture and land in ``bench_output.txt``)
+and appended to ``benchmarks/results.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.harness import format_table
+
+_TABLES: List[str] = []
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def record_table(title: str, columns: Sequence[str], rows) -> str:
+    text = format_table(title, columns, rows)
+    _TABLES.append(text)
+    return text
+
+
+def pytest_sessionstart(session):
+    try:
+        os.remove(RESULTS_PATH)
+    except OSError:
+        pass
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 70)
+    terminalreporter.write_line("Reproduced paper tables/figures")
+    terminalreporter.write_line("=" * 70)
+    for text in _TABLES:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    with open(RESULTS_PATH, "a") as fh:
+        fh.write("\n\n".join(_TABLES) + "\n")

@@ -1,0 +1,148 @@
+"""Paper Fig. 11: sender-side thread scheduling under mixed payloads.
+
+90% of threads send 64 B requests, 10% send large ones (512/768/1024 B).
+Algorithm 1 sorts threads by median request size and packs them into
+byte-quota groups, so large-payload threads land on their own QPs.
+
+What reproduces, measured per size class below: the scheduler reliably
+*separates* the classes, which removes the large requests from behind
+small-thread combining queues (their median latency drops several-fold)
+at throughput parity.  What does not reproduce: the paper's up-to-1.5x
+*throughput* win — at a simulated 100 Gbps with byte-proportional costs
+only, a 1 KB payload is nearly free on the wire, so mixing classes costs
+our model little.  The deviation is recorded in EXPERIMENTS.md.
+"""
+
+import random
+
+import pytest
+
+from repro.config import ClusterConfig, FlockConfig
+from repro.flock import FlockNode
+from repro.net import build_cluster
+from repro.sim import Simulator, summarize_latencies
+from repro.workloads import BimodalSize
+
+from conftest import record_table
+
+LARGE_SIZES = [512, 768, 1024]
+THREADS = 32
+N_CLIENTS = 23
+WARMUP, MEASURE = 600_000.0, 500_000.0
+
+
+def run_point(large_size, scheduling):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(
+        sim, ClusterConfig(n_clients=N_CLIENTS, seed=1))
+    fcfg = FlockConfig(sched_interval_ns=150_000.0,
+                       thread_sched_interval_ns=150_000.0)
+    server = FlockNode(sim, servers[0], fabric, fcfg)
+    server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+    gen = BimodalSize(n_threads=THREADS, large_size=large_size)
+    small_lat, large_lat = [], []
+    jitter_rng = random.Random(99)
+    handles = []
+
+    def worker(fnode, handle, tid, rng):
+        is_large = tid in gen.large_threads
+        while True:
+            yield sim.timeout(rng.random() * 300)
+            started = sim.now
+            yield from fnode.fl_call(handle, tid, 1, gen.next(tid))
+            if WARMUP <= sim.now < WARMUP + MEASURE:
+                (large_lat if is_large else small_lat).append(
+                    sim.now - started)
+
+    for c_idx, node in enumerate(clients):
+        fnode = FlockNode(sim, node, fabric, fcfg, seed=c_idx)
+        fnode.client.thread_scheduling_enabled = scheduling
+        handle = fnode.fl_connect(server, n_qps=THREADS // 2)
+        handles.append(handle)
+        for tid in range(THREADS):
+            for _ in range(8):
+                rng = random.Random(jitter_rng.getrandbits(48))
+                sim.spawn(worker(fnode, handle, tid, rng))
+    sim.run(until=WARMUP + MEASURE)
+
+    # How well separated are the size classes on the wire?
+    mixed_qps = 0
+    for handle in handles:
+        by_qp = {}
+        for tid, qp in handle.thread_qp_map.items():
+            by_qp.setdefault(qp, set()).add(tid in gen.large_threads)
+        mixed_qps += sum(1 for classes in by_qp.values()
+                         if len(classes) == 2)
+    mops = (len(small_lat) + len(large_lat)) / MEASURE * 1e3
+    return {
+        "mops": mops,
+        "small": summarize_latencies(small_lat),
+        "large": summarize_latencies(large_lat),
+        "mixed_qps": mixed_qps,
+    }
+
+
+def sweep():
+    return {(size, sched): run_point(size, sched)
+            for size in LARGE_SIZES for sched in (False, True)}
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep()
+
+
+def test_fig11_table(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for size in LARGE_SIZES:
+        off = results[(size, False)]
+        on = results[(size, True)]
+        rows.append([
+            size,
+            round(off["mops"], 1), round(on["mops"], 1),
+            round(off["large"]["median"] / 1e3, 1),
+            round(on["large"]["median"] / 1e3, 1),
+            round(off["small"]["median"] / 1e3, 1),
+            round(on["small"]["median"] / 1e3, 1),
+            off["mixed_qps"], on["mixed_qps"],
+        ])
+    record_table(
+        "Fig 11: thread scheduling (90% 64B + 10% large, per-class)",
+        ["large B", "off Mops", "on Mops", "large med off us",
+         "large med on us", "small med off us", "small med on us",
+         "mixed QPs off", "mixed QPs on"],
+        rows,
+    )
+
+
+def test_scheduler_separates_size_classes(benchmark, results):
+    """Algorithm 1's observable action: almost no QP carries both a
+    small-payload and a large-payload thread once scheduling runs."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for size in LARGE_SIZES:
+        off = results[(size, False)]["mixed_qps"]
+        on = results[(size, True)]["mixed_qps"]
+        assert on < off / 2, size
+        assert on <= N_CLIENTS, size  # at most ~1 boundary QP per client
+
+
+def test_large_requests_escape_head_of_line(benchmark, results):
+    """With dedicated QPs, large requests stop queueing behind the
+    small threads' combining pipelines."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for size in LARGE_SIZES:
+        off = results[(size, False)]["large"]["median"]
+        on = results[(size, True)]["large"]["median"]
+        assert on < 0.7 * off, size
+
+
+def test_throughput_not_sacrificed(benchmark, results):
+    """Scheduling costs at most a modest slice of throughput here (the
+    paper gains up to 1.5x; see the module docstring for why the gain
+    does not reproduce under this cost model)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for size in LARGE_SIZES:
+        off = results[(size, False)]["mops"]
+        on = results[(size, True)]["mops"]
+        assert on > 0.85 * off, size

@@ -1,0 +1,94 @@
+"""Paper Fig. 14: TATP transactions — FLockTX vs FaSST.
+
+3 servers (3-way replication), 20 clients, 19 submit coroutines per
+thread, read-intensive TATP mix.  Claims: FaSST is competitive at low
+thread counts but saturates; FLockTX reaches ~1.9x/2.4x FaSST at 8/16
+threads with much lower tail latency; FaSST suffers packet loss at high
+thread counts (the paper omits its 32-thread numbers for that reason).
+"""
+
+import pytest
+
+from repro.harness import TxnBenchConfig, run_fasst_txn, run_flocktx
+
+from conftest import record_table
+
+THREADS = [1, 2, 4, 8, 16]
+
+
+def config(threads):
+    return TxnBenchConfig(workload="tatp", n_clients=20, n_servers=3,
+                          threads_per_client=threads,
+                          coroutines_per_thread=19,
+                          subscribers_per_server=30_000)
+
+
+def sweep():
+    results = {}
+    for threads in THREADS:
+        cfg = config(threads)
+        results[("flocktx", threads)] = run_flocktx(cfg)
+        results[("fasst", threads)] = run_fasst_txn(cfg)
+    return results
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep()
+
+
+def test_fig14_table(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for threads in THREADS:
+        flock = results[("flocktx", threads)]
+        fasst = results[("fasst", threads)]
+        rows.append([
+            threads,
+            round(flock.mops, 3), round(fasst.mops, 3),
+            round(flock.median_us, 1), round(fasst.median_us, 1),
+            round(flock.p99_us, 1), round(fasst.p99_us, 1),
+            fasst.extras["lost"],
+        ])
+    record_table(
+        "Fig 14: TATP (Mtxn/s), FLockTX vs FaSST (20 clients, 3 servers)",
+        ["thr/client", "FLockTX Mtxn/s", "FaSST Mtxn/s", "FLockTX med us",
+         "FaSST med us", "FLockTX p99 us", "FaSST p99 us", "FaSST losses"],
+        rows,
+    )
+
+
+def test_flocktx_keeps_scaling(benchmark, results):
+    """Paper: FLock's throughput increases with more threads and stays
+    ahead of FaSST at scale.  (Our FaSST model keeps a constant load per
+    server core, so it scales with its worker count instead of
+    flat-lining — the paper's early saturation came from effects beyond
+    the per-core CPU tax; the FLock-vs-FaSST gap is what reproduces.)"""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    flock = {t: results[("flocktx", t)].mops for t in THREADS}
+    fasst = {t: results[("fasst", t)].mops for t in THREADS}
+    assert flock[16] > 1.5 * flock[2]
+    assert flock[16] > fasst[16]
+
+
+def test_flocktx_beats_fasst_at_high_threads(benchmark, results):
+    """Paper: ~1.9x at 8 threads and ~2.4x at 16 (we assert >= 1.4x)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for threads in (8, 16):
+        flock = results[("flocktx", threads)].mops
+        fasst = results[("fasst", threads)].mops
+        assert flock > 1.4 * fasst, threads
+
+
+def test_flocktx_tail_latency_lower_at_high_threads(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    flock = results[("flocktx", 16)]
+    fasst = results[("fasst", 16)]
+    assert flock.p99_us < fasst.p99_us
+
+
+def test_transactions_actually_commit(benchmark, results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for key, result in results.items():
+        assert result.extras["committed"] > 0, key
+        assert result.extras["abort_rate"] < 0.2, key

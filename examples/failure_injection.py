@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Hardware vs software reliability under packet loss (paper §1/§3).
+
+FLock's case for RC: the NIC retransmits lost packets invisibly, so
+applications never see loss — it surfaces purely as latency.  UD pushes
+loss recovery into software: FaSST-style endpoints time out and count
+the request as lost.  This demo injects 2% fabric loss and runs the same
+workload through both.
+
+Run:  python examples/failure_injection.py
+"""
+
+from repro.baselines import FasstEndpoint, FasstServer
+from repro.config import ClusterConfig, FlockConfig
+from repro.flock import FlockNode
+from repro.net import build_cluster
+from repro.sim import Simulator, summarize_latencies
+
+N_REQUESTS = 300
+LOSS = 0.02
+
+
+def run_flock(loss):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(sim, ClusterConfig(n_clients=1))
+    fabric.loss_prob = loss
+    cfg = FlockConfig(qps_per_handle=2)
+    server = FlockNode(sim, servers[0], fabric, cfg)
+    server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+    client = FlockNode(sim, clients[0], fabric, cfg, seed=1)
+    handle = client.fl_connect(server, n_qps=2)
+    latencies = []
+
+    def worker(tid):
+        for _ in range(N_REQUESTS // 4):
+            started = sim.now
+            yield from client.fl_call(handle, tid, 1, 64)
+            latencies.append(sim.now - started)
+
+    for tid in range(4):
+        sim.spawn(worker(tid))
+    sim.run(until=400_000_000)
+    return latencies
+
+
+def run_fasst(loss):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(sim, ClusterConfig(n_clients=1))
+    fabric.loss_prob = loss
+    server = FasstServer(sim, servers[0], fabric, n_workers=4)
+    server.register_handler(1, lambda req: (64, None, 100.0))
+    endpoint = FasstEndpoint(sim, clients[0], fabric, timeout_ns=100_000.0)
+    latencies, lost = [], [0]
+
+    def worker():
+        for _ in range(N_REQUESTS // 4):
+            started = sim.now
+            response = yield from endpoint.call(server, server.qps[0], 1, 64)
+            if response is None:
+                lost[0] += 1
+            else:
+                latencies.append(sim.now - started)
+
+    for _ in range(4):
+        sim.spawn(worker())
+    sim.run(until=400_000_000)
+    return latencies, lost[0]
+
+
+def main():
+    print("injecting %.0f%% packet loss on the fabric\n" % (LOSS * 100))
+
+    clean = summarize_latencies(run_flock(0.0))
+    lossy = summarize_latencies(run_flock(LOSS))
+    print("FLock (RC, hardware retransmission):")
+    print("  0%% loss: %d/%d completed, median %.1f us, max %.1f us"
+          % (clean["count"], N_REQUESTS, clean["median"] / 1e3,
+             clean["max"] / 1e3))
+    print("  2%% loss: %d/%d completed, median %.1f us, max %.1f us"
+          % (lossy["count"], N_REQUESTS, lossy["median"] / 1e3,
+             lossy["max"] / 1e3))
+    print("  -> nothing lost; retransmission shows up only in the tail\n")
+
+    latencies, lost = run_fasst(LOSS)
+    done = summarize_latencies(latencies)
+    print("FaSST (UD, loss handled by the application):")
+    print("  2%% loss: %d/%d completed, %d lost to timeouts, median %.1f us"
+          % (done["count"], N_REQUESTS, lost, done["median"] / 1e3))
+    print("  -> the application must detect and recover %d requests" % lost)
+
+
+if __name__ == "__main__":
+    main()

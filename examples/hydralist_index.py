@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""A remote ordered index: HydraList served over FLock RPC (paper §8.6).
+
+One server hosts a HydraList index; clients issue 90% point lookups and
+10% range scans.  Shows the asynchronous search layer at work and the
+paper's observation that scans (variable service time) and gets mix on
+the same connection handles.
+
+Run:  python examples/hydralist_index.py
+"""
+
+from repro.apps.hydralist import HydraList
+from repro.config import ClusterConfig, FlockConfig
+from repro.flock import FlockNode
+from repro.net import build_cluster
+from repro.sim import Simulator, Streams
+
+RPC_GET, RPC_SCAN, RPC_INSERT = 1, 2, 3
+N_KEYS = 50_000
+
+
+def main():
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(sim, ClusterConfig(n_clients=2))
+    cfg = FlockConfig(qps_per_handle=4)
+
+    index = HydraList(node_capacity=64)
+    index.bulk_load((k, k * 10) for k in range(N_KEYS))
+    print("loaded %d keys; pending structural updates: %d"
+          % (index.size, index.pending_structural_updates))
+
+    server = FlockNode(sim, servers[0], fabric, cfg)
+    server.fl_reg_handler(
+        RPC_GET, lambda req: (8, index.get(req.payload), index.get_cost_ns()))
+    server.fl_reg_handler(
+        RPC_SCAN,
+        lambda req: (8, len(index.scan(req.payload, 64)),
+                     index.scan_cost_ns(64)))
+
+    def insert_handler(request):
+        key, value = request.payload
+        index.insert(key, value)
+        return 8, True, index.get_cost_ns()
+
+    server.fl_reg_handler(RPC_INSERT, insert_handler)
+
+    streams = Streams(seed=7)
+    stats = {"gets": 0, "hits": 0, "scans": 0, "scanned": 0, "inserts": 0}
+
+    def worker(client, handle, thread_id, rng):
+        for _ in range(200):
+            r = rng.random()
+            key = rng.randrange(N_KEYS * 2)  # half the range misses
+            if r < 0.85:
+                resp = yield from client.fl_call(handle, thread_id, RPC_GET,
+                                                 16, key)
+                stats["gets"] += 1
+                stats["hits"] += resp.payload is not None
+            elif r < 0.95:
+                resp = yield from client.fl_call(handle, thread_id, RPC_SCAN,
+                                                 24, key)
+                stats["scans"] += 1
+                stats["scanned"] += resp.payload
+            else:
+                yield from client.fl_call(handle, thread_id, RPC_INSERT, 24,
+                                          (key, key))
+                stats["inserts"] += 1
+
+    for c_idx, node in enumerate(clients):
+        client = FlockNode(sim, node, fabric, cfg, seed=c_idx)
+        handle = client.fl_connect(server, n_qps=4)
+        for tid in range(8):
+            rng = streams.stream("w-%d-%d" % (c_idx, tid))
+            sim.spawn(worker(client, handle, tid, rng))
+
+    sim.run(until=80_000_000)
+
+    print("gets: %d (hit rate %.1f%%)   scans: %d (avg %d keys)   inserts: %d"
+          % (stats["gets"], 100.0 * stats["hits"] / max(1, stats["gets"]),
+             stats["scans"], stats["scanned"] // max(1, stats["scans"]),
+             stats["inserts"]))
+    print("index size now: %d; stale search-layer traversals served: %d"
+          % (index.size, index.stale_traversals))
+    index.merge_search_layer()
+    print("after merging the search layer, pending updates: %d"
+          % index.pending_structural_updates)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: enables editable installs where the `wheel` package is absent."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""FLock (SOSP 2021) reproduction.
+
+A discrete-event simulation of the full RDMA stack — RNIC with finite
+connection caches, RC/UC/UD verbs, a 100 Gbps fabric — with FLock (shared
+reliable connections via combining-based synchronization and symbiotic
+send-recv scheduling), the paper's baselines (eRPC, FaSST, FaRM-style
+sharing), and its applications (FLockTX distributed transactions and a
+HydraList index).
+
+Quick start::
+
+    from repro.sim import Simulator
+    from repro.config import ClusterConfig
+    from repro.net import build_cluster
+    from repro.flock import FlockNode
+
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(sim, ClusterConfig(n_clients=1))
+    server = FlockNode(sim, servers[0], fabric)
+    client = FlockNode(sim, clients[0], fabric)
+    server.fl_reg_handler(1, lambda req: (64, req.payload, 100.0))
+    handle = client.fl_connect(server, n_qps=4)
+
+    def app(thread_id):
+        response = yield from client.fl_call(handle, thread_id, 1, 64, "hi")
+        print(response.payload)
+
+    sim.spawn(app(0))
+    sim.run()
+"""
+
+__version__ = "1.0.0"
+
+from . import config, sim
+
+__all__ = ["config", "sim", "__version__"]

@@ -1,0 +1,151 @@
+"""Partitioned in-memory key-value store (MICA-like substrate, §8.5.2).
+
+FLockTX and the FaSST comparison both run over this store, mirroring the
+paper's use of MICA "without caching key-value pairs".  Each partition
+lives on one server; entries carry a version and a lock bit for
+optimistic concurrency control.
+
+For FLockTX's validation phase the store *publishes each entry's
+version word in a registered memory region*: the word packs
+``version << 1 | locked`` at a stable address, so coordinators validate
+read-sets with one-sided RDMA reads exactly as the paper's Fig. 13 shows
+(``fl_read`` of the address returned during execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["KvEntry", "KvPartition", "partition_of", "replicas_of"]
+
+#: CPU cost charged by handlers per store operation (ns).
+GET_NS = 120.0
+PUT_NS = 160.0
+LOCK_NS = 60.0
+
+
+@dataclass
+class KvEntry:
+    """One key's record: value, OCC version, lock owner."""
+
+    value: Any = None
+    version: int = 0
+    lock_owner: Optional[int] = None
+
+    @property
+    def locked(self) -> bool:
+        return self.lock_owner is not None
+
+    @property
+    def version_word(self) -> int:
+        """The packed word published for one-sided validation."""
+        return (self.version << 1) | (1 if self.locked else 0)
+
+
+class KvPartition:
+    """One server's partition, optionally exposing version words in a
+    registered region for one-sided validation."""
+
+    def __init__(self, partition_id: int, region=None, words_per_key: int = 8):
+        self.partition_id = partition_id
+        self.entries: Dict[Any, KvEntry] = {}
+        self.region = region
+        self.words_per_key = words_per_key
+        self._addrs: Dict[Any, int] = {}
+        self._next_off = 0
+        # Statistics for experiment reports.
+        self.gets = 0
+        self.puts = 0
+        self.lock_failures = 0
+
+    # -- address publication ---------------------------------------------
+
+    def addr_of(self, key: Any) -> int:
+        """Stable address of the key's version word (for fl_read)."""
+        addr = self._addrs.get(key)
+        if addr is None:
+            if self.region is None:
+                raise RuntimeError("partition has no registered region")
+            addr = self.region.addr + self._next_off
+            self._next_off += self.words_per_key
+            if self._next_off > self.region.length:
+                raise RuntimeError("version region exhausted")
+            self._addrs[key] = addr
+        return addr
+
+    def _publish(self, key: Any, entry: KvEntry) -> None:
+        if self.region is not None:
+            self.region.words[self.addr_of(key)] = entry.version_word
+
+    # -- store operations ----------------------------------------------------
+
+    def load(self, items: Iterable[Tuple[Any, Any]]) -> None:
+        """Bulk-populate (bootstrap)."""
+        for key, value in items:
+            entry = KvEntry(value=value, version=1)
+            self.entries[key] = entry
+            self._publish(key, entry)
+
+    def get(self, key: Any) -> Optional[KvEntry]:
+        self.gets += 1
+        return self.entries.get(key)
+
+    def try_lock(self, key: Any, owner: int) -> bool:
+        """Lock for OCC write intent; fails if already locked by another."""
+        entry = self.entries.get(key)
+        if entry is None:
+            entry = KvEntry(version=0)
+            self.entries[key] = entry
+        if entry.lock_owner is not None and entry.lock_owner != owner:
+            self.lock_failures += 1
+            return False
+        entry.lock_owner = owner
+        self._publish(key, entry)
+        return True
+
+    def unlock(self, key: Any, owner: int) -> bool:
+        entry = self.entries.get(key)
+        if entry is None or entry.lock_owner != owner:
+            return False
+        entry.lock_owner = None
+        self._publish(key, entry)
+        return True
+
+    def commit_update(self, key: Any, value: Any, owner: int) -> int:
+        """Apply a validated write and release the lock; bumps version."""
+        entry = self.entries.get(key)
+        if entry is None or entry.lock_owner != owner:
+            raise RuntimeError("commit of unlocked key %r" % (key,))
+        entry.value = value
+        entry.version += 1
+        entry.lock_owner = None
+        self.puts += 1
+        self._publish(key, entry)
+        return entry.version
+
+    def apply_replica_update(self, key: Any, value: Any, version: int) -> None:
+        """Replica-side update (logging phase): installs value+version."""
+        entry = self.entries.get(key)
+        if entry is None:
+            entry = KvEntry()
+            self.entries[key] = entry
+        if version >= entry.version:
+            entry.value = value
+            entry.version = version
+        self._publish(key, entry)
+
+    def version_of(self, key: Any) -> int:
+        entry = self.entries.get(key)
+        return entry.version_word if entry is not None else 0
+
+
+def partition_of(key: int, n_partitions: int) -> int:
+    """Key → primary partition (stable hash)."""
+    return (key * 2654435761 & 0xFFFFFFFF) % n_partitions
+
+
+def replicas_of(partition_id: int, n_servers: int, n_replicas: int = 3) -> List[int]:
+    """Primary + backup server ids (3-way chain as in §8.5.2)."""
+    n = min(n_replicas, n_servers)
+    return [(partition_id + i) % n_servers for i in range(n)]

@@ -1,0 +1,47 @@
+"""FLockTX: distributed transactions with OCC, 2PC, and replication (§8.5)."""
+
+from .coordinator import (
+    Coordinator,
+    FasstTxTransport,
+    FlockTxTransport,
+    Transaction,
+    TxnOutcome,
+)
+from .messages import (
+    RPC_ABORT,
+    RPC_COMMIT,
+    RPC_EXEC,
+    RPC_LOG,
+    RPC_VALIDATE,
+    AbortRequest,
+    Ack,
+    CommitRequest,
+    ExecRequest,
+    ExecResult,
+    LogRequest,
+    ValidateRequest,
+    ValidateResult,
+)
+from .server import TxnServer
+
+__all__ = [
+    "AbortRequest",
+    "Ack",
+    "CommitRequest",
+    "Coordinator",
+    "ExecRequest",
+    "ExecResult",
+    "FasstTxTransport",
+    "FlockTxTransport",
+    "LogRequest",
+    "RPC_ABORT",
+    "RPC_COMMIT",
+    "RPC_EXEC",
+    "RPC_LOG",
+    "RPC_VALIDATE",
+    "Transaction",
+    "TxnOutcome",
+    "TxnServer",
+    "ValidateRequest",
+    "ValidateResult",
+]

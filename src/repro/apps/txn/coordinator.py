@@ -1,0 +1,245 @@
+"""Transaction coordinator: OCC + 2PC + primary-backup (paper Fig. 13).
+
+A coordinator at the client drives each transaction through four phases:
+
+1. **Execution** — RPC to each involved primary: read R∪W, lock W
+   (failure to lock aborts immediately).
+2. **Validation** — re-check read-set versions.  FLockTX uses one-sided
+   ``fl_read`` of the version words whose addresses the execution phase
+   returned; FaSST (no one-sided verbs on UD) validates with an RPC.
+3. **Logging** — ship updates to every backup replica; replicas ACK.
+4. **Commit** — RPC to the primaries: install updates and unlock.
+
+The transport is pluggable so the *same* coordinator logic runs over
+FLock and over FaSST, isolating the communication layer exactly as the
+paper's §8.5 comparison does.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Tuple
+
+from ..kvstore import partition_of, replicas_of
+from .messages import (
+    RPC_ABORT,
+    RPC_COMMIT,
+    RPC_EXEC,
+    RPC_LOG,
+    RPC_VALIDATE,
+    AbortRequest,
+    CommitRequest,
+    ExecRequest,
+    LogRequest,
+    ValidateRequest,
+)
+
+__all__ = ["Transaction", "TxnOutcome", "Coordinator",
+           "FlockTxTransport", "FasstTxTransport"]
+
+_txn_counter = itertools.count(1)
+
+
+@dataclass
+class Transaction:
+    """R and W sets; reads and writes are disjoint key sets."""
+
+    reads: List[Any] = field(default_factory=list)
+    writes: List[Tuple[Any, Any]] = field(default_factory=list)
+
+    @property
+    def write_keys(self) -> List[Any]:
+        return [k for k, _v in self.writes]
+
+    @property
+    def read_only(self) -> bool:
+        return not self.writes
+
+
+class TxnOutcome:
+    """Terminal states of a transaction run."""
+
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    LOST = "lost"  # FaSST-style packet loss: the coroutine gave up
+
+
+class FlockTxTransport:
+    """FLockTX's communication layer: RPC + one-sided validation reads."""
+
+    supports_one_sided = True
+
+    def __init__(self, flock_node, handles: Dict[int, Any],
+                 version_rkeys: Dict[int, int], thread_id: int):
+        self.node = flock_node
+        self.handles = handles
+        self.version_rkeys = version_rkeys
+        self.thread_id = thread_id
+
+    def call(self, server_id: int, rpc_id: int, size: int,
+             payload: Any) -> Generator:
+        response = yield from self.node.fl_call(
+            self.handles[server_id], self.thread_id, rpc_id, size, payload)
+        return response.payload
+
+    def read_word(self, server_id: int, addr: int) -> Generator:
+        wc = yield from self.node.fl_read(
+            self.handles[server_id], self.thread_id, addr,
+            self.version_rkeys[server_id], 8)
+        return wc.payload if wc.ok else None
+
+
+class FasstTxTransport:
+    """FaSST's communication layer: UD RPCs only; loss → None."""
+
+    supports_one_sided = False
+
+    def __init__(self, endpoint, servers: Dict[int, Tuple[Any, Any]]):
+        #: server_id -> (UdRpcServer, its QP this endpoint targets)
+        self.endpoint = endpoint
+        self.servers = servers
+
+    def call(self, server_id: int, rpc_id: int, size: int,
+             payload: Any) -> Generator:
+        server, qp = self.servers[server_id]
+        response = yield from self.endpoint.call(server, qp, rpc_id, size,
+                                                 payload)
+        return None if response is None else response.payload
+
+    def read_word(self, server_id: int, addr: int) -> Generator:
+        raise NotImplementedError("UD transports have no one-sided reads")
+        yield  # pragma: no cover
+
+
+class Coordinator:
+    """Runs transactions over a pluggable transport."""
+
+    def __init__(self, transport, n_servers: int, coordinator_id: int = 0):
+        self.transport = transport
+        self.n_servers = n_servers
+        self.coordinator_id = coordinator_id
+        self.committed = 0
+        self.aborted = 0
+        self.lost = 0
+
+    # -- key placement ------------------------------------------------------
+
+    def primary_of(self, key: Any) -> int:
+        return partition_of(key, self.n_servers)
+
+    # -- the protocol ---------------------------------------------------------
+
+    def run(self, txn: Transaction) -> Generator:
+        """Execute one transaction; returns a :class:`TxnOutcome` value."""
+        txn_id = (self.coordinator_id << 32) | next(_txn_counter)
+        by_server: Dict[int, Tuple[List[Any], List[Any]]] = {}
+        for key in txn.reads:
+            by_server.setdefault(self.primary_of(key), ([], []))[0].append(key)
+        for key in txn.write_keys:
+            by_server.setdefault(self.primary_of(key), ([], []))[1].append(key)
+
+        # Phase 1: execution (read R∪W, lock W at each primary).
+        results: Dict[int, Any] = {}
+        locked: List[int] = []
+        for server_id in sorted(by_server):
+            reads, writes = by_server[server_id]
+            request = ExecRequest(txn_id=txn_id, read_keys=reads,
+                                  write_keys=writes)
+            result = yield from self.transport.call(
+                server_id, RPC_EXEC, request.wire_size, request)
+            if result is None:
+                yield from self._abort(txn_id, by_server, locked)
+                self.lost += 1
+                return TxnOutcome.LOST
+            if not result.ok:
+                yield from self._abort(txn_id, by_server, locked)
+                self.aborted += 1
+                return TxnOutcome.ABORTED
+            results[server_id] = result
+            if writes:
+                locked.append(server_id)
+
+        # Phase 2: validation of the read set.
+        if txn.reads and not (txn.read_only and len(txn.reads) == 1):
+            valid = yield from self._validate(txn_id, by_server, results)
+            if valid is None:
+                yield from self._abort(txn_id, by_server, locked)
+                self.lost += 1
+                return TxnOutcome.LOST
+            if not valid:
+                yield from self._abort(txn_id, by_server, locked)
+                self.aborted += 1
+                return TxnOutcome.ABORTED
+
+        if txn.read_only:
+            self.committed += 1
+            return TxnOutcome.COMMITTED
+
+        # Phase 3: logging to backups (they ACK before commit).
+        updates_by_server: Dict[int, List[Tuple[Any, Any, int]]] = {}
+        for key, value in txn.writes:
+            server_id = self.primary_of(key)
+            old_version = results[server_id].versions.get(key, 0)
+            updates_by_server.setdefault(server_id, []).append(
+                (key, value, old_version + 1))
+        for server_id, updates in sorted(updates_by_server.items()):
+            for replica in replicas_of(server_id, self.n_servers)[1:]:
+                request = LogRequest(txn_id=txn_id, partition_id=server_id,
+                                     updates=updates)
+                ack = yield from self.transport.call(
+                    replica, RPC_LOG, request.wire_size, request)
+                if ack is None:
+                    # Updates may be partially replicated; a real system
+                    # would run recovery.  The experiment records a loss.
+                    self.lost += 1
+                    return TxnOutcome.LOST
+
+        # Phase 4: commit at the primaries (serialization point passed).
+        for server_id, updates in sorted(updates_by_server.items()):
+            request = CommitRequest(
+                txn_id=txn_id,
+                updates=[(k, v) for k, v, _ver in updates])
+            ack = yield from self.transport.call(
+                server_id, RPC_COMMIT, request.wire_size, request)
+            if ack is None:
+                self.lost += 1
+                return TxnOutcome.LOST
+        self.committed += 1
+        return TxnOutcome.COMMITTED
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _validate(self, txn_id: int, by_server, results) -> Generator:
+        """True if every read-set version is unchanged and unlocked."""
+        if self.transport.supports_one_sided:
+            for server_id, (reads, _writes) in sorted(by_server.items()):
+                result = results[server_id]
+                for key in reads:
+                    word = yield from self.transport.read_word(
+                        server_id, result.read_addrs[key])
+                    if word is None:
+                        return None
+                    if word != (result.versions[key] << 1):
+                        return False
+            return True
+        for server_id, (reads, _writes) in sorted(by_server.items()):
+            if not reads:
+                continue
+            request = ValidateRequest(keys=reads)
+            result = yield from self.transport.call(
+                server_id, RPC_VALIDATE, request.wire_size, request)
+            if result is None:
+                return None
+            expected = results[server_id]
+            for key in reads:
+                if result.version_words.get(key) != (expected.versions[key] << 1):
+                    return False
+        return True
+
+    def _abort(self, txn_id: int, by_server, locked: List[int]) -> Generator:
+        for server_id in locked:
+            _reads, writes = by_server[server_id]
+            request = AbortRequest(txn_id=txn_id, locked_keys=writes)
+            yield from self.transport.call(server_id, RPC_ABORT,
+                                           request.wire_size, request)

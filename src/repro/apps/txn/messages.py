@@ -1,0 +1,117 @@
+"""Wire-level payloads of the transaction protocol (paper Fig. 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "RPC_EXEC", "RPC_VALIDATE", "RPC_LOG", "RPC_COMMIT", "RPC_ABORT",
+    "ExecRequest", "ExecResult", "ValidateRequest", "ValidateResult",
+    "LogRequest", "CommitRequest", "AbortRequest", "Ack",
+]
+
+RPC_EXEC = 10
+RPC_VALIDATE = 11
+RPC_LOG = 12
+RPC_COMMIT = 13
+RPC_ABORT = 14
+
+#: Wire-size accounting (bytes per key entry in each message kind).
+KEY_BYTES = 8
+VALUE_BYTES = 40
+VERSION_BYTES = 8
+ADDR_BYTES = 8
+
+
+@dataclass
+class ExecRequest:
+    """Execution phase: read R∪W and lock W at the primary."""
+
+    txn_id: int
+    read_keys: List[Any]
+    write_keys: List[Any]
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + KEY_BYTES * (len(self.read_keys) + len(self.write_keys))
+
+
+@dataclass
+class ExecResult:
+    """Values + versions for R∪W, version-word addresses for R, and
+    whether every W lock was acquired."""
+
+    ok: bool
+    values: Dict[Any, Any] = field(default_factory=dict)
+    versions: Dict[Any, int] = field(default_factory=dict)
+    read_addrs: Dict[Any, int] = field(default_factory=dict)
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + (VALUE_BYTES + VERSION_BYTES) * len(self.values) \
+            + ADDR_BYTES * len(self.read_addrs)
+
+
+@dataclass
+class ValidateRequest:
+    """Two-sided validation fallback (FaSST has no one-sided reads)."""
+
+    keys: List[Any]
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + KEY_BYTES * len(self.keys)
+
+
+@dataclass
+class ValidateResult:
+    version_words: Dict[Any, int]
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + VERSION_BYTES * len(self.version_words)
+
+
+@dataclass
+class LogRequest:
+    """Logging phase: ship updates to a backup replica."""
+
+    txn_id: int
+    partition_id: int
+    updates: List[Tuple[Any, Any, int]]  # (key, value, new version)
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + (KEY_BYTES + VALUE_BYTES + VERSION_BYTES) * len(self.updates)
+
+
+@dataclass
+class CommitRequest:
+    """Commit phase: install updates at the primary and unlock."""
+
+    txn_id: int
+    updates: List[Tuple[Any, Any]]  # (key, value)
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + (KEY_BYTES + VALUE_BYTES) * len(self.updates)
+
+
+@dataclass
+class AbortRequest:
+    txn_id: int
+    locked_keys: List[Any]
+
+    @property
+    def wire_size(self) -> int:
+        return 16 + KEY_BYTES * len(self.locked_keys)
+
+
+@dataclass
+class Ack:
+    ok: bool = True
+
+    @property
+    def wire_size(self) -> int:
+        return 8

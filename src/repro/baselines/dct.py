@@ -1,0 +1,144 @@
+"""Dynamically Connected Transport (DCT) baseline (paper §10).
+
+Mellanox DCT keeps connection counts low by creating and destroying
+QP connections *on demand*: one initiator context reaches any remote,
+but switching targets tears down the current connection and performs a
+connect handshake with the next one.  The paper cites prior findings
+that this "leads to performance degradation" when a thread alternates
+between remote machines — the effect this baseline reproduces against
+FLock's persistent (but scheduled) connection pool.
+
+The data path reuses the RC write-based RPC mechanics; what DCT changes
+is purely the connection lifecycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, Optional
+
+from ..config import CpuConfig
+from ..net.fabric import Fabric, Node
+from ..sim import Event, Simulator
+from ..verbs import QueuePair, Transport, Verb, WorkRequest
+from ..flock.message import CoalescedMessage, RpcRequest, RpcResponse
+from ..flock.ringbuf import RingBuffer
+from .farm import RcRpcServer
+
+__all__ = ["DctEndpoint", "DCT_CONNECT_NS"]
+
+#: One DC connect handshake (half a round trip each way plus NIC setup);
+#: the value matches the ~2x degradation prior work reports for
+#: alternating targets at microsecond RPC scales.
+DCT_CONNECT_NS = 2_000.0
+
+_seq = itertools.count(1)
+
+
+class _DctTarget:
+    """Server-side state for one (endpoint, server) pair."""
+
+    __slots__ = ("server_qp", "req_region", "resp_region", "resp_ring",
+                 "client_qp", "pending")
+
+    def __init__(self):
+        self.server_qp = None
+        self.req_region = None
+        self.resp_region = None
+        self.resp_ring = None
+        self.client_qp = None
+        self.pending: Dict[int, Event] = {}
+
+
+class DctEndpoint:
+    """One DC initiator: talks to many servers, one connection at a time."""
+
+    def __init__(self, sim: Simulator, node: Node, fabric: Fabric,
+                 cpu: Optional[CpuConfig] = None,
+                 connect_ns: float = DCT_CONNECT_NS,
+                 ring_slots: int = 128):
+        self.sim = sim
+        self.node = node
+        self.fabric = fabric
+        self.cpu = cpu or node.cpu_cfg
+        self.connect_ns = connect_ns
+        self.ring_slots = ring_slots
+        self._targets: Dict[int, _DctTarget] = {}
+        #: The single currently connected target (DCT semantics).
+        self.connected_to: Optional[int] = None
+        self.connects = 0
+        self.switches = 0
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def _target(self, server_id: int, server: RcRpcServer) -> _DctTarget:
+        target = self._targets.get(server_id)
+        if target is None:
+            target = _DctTarget()
+            client_qp = QueuePair(self.sim, self.node, self.fabric,
+                                  Transport.RC)
+            server_qp, req_region, req_ring, inbox, _w = server.accept_channel()
+            client_qp.connect(server_qp)
+            resp_region = self.node.memory.register(self.ring_slots * 4096)
+            resp_ring = RingBuffer(self.sim, resp_region, self.ring_slots)
+            target.client_qp = client_qp
+            target.server_qp = server_qp
+            target.req_region = req_region
+            target.resp_region = resp_region
+            target.resp_ring = resp_ring
+
+            def on_request(msg, _ring=req_ring, _sqp=server_qp,
+                           _resp=resp_region, _inbox=inbox):
+                _inbox.try_put(((_ring, _sqp, _resp), msg))
+
+            req_ring.on_message = on_request
+
+            def on_response(msg, _target=target):
+                _target.resp_ring.consume(msg.total_bytes)
+                response: RpcResponse = msg.entries[0]
+                ev = _target.pending.pop(response.seq_id, None)
+                if ev is not None and not ev.triggered:
+                    ev.succeed(response)
+
+            resp_ring.on_message = on_response
+            self._targets[server_id] = target
+        return target
+
+    def _ensure_connected(self, server_id: int) -> Generator[Event, None, None]:
+        """DCT's defining cost: switching the active connection pays a
+        connect handshake (and implicitly tears the old one down)."""
+        if self.connected_to == server_id:
+            return
+        if self.connected_to is not None:
+            self.switches += 1
+        self.connects += 1
+        self.connected_to = server_id
+        yield self.sim.timeout(self.connect_ns)
+
+    # -- RPC -----------------------------------------------------------------
+
+    def call(self, server_id: int, server: RcRpcServer, rpc_id: int,
+             size: int, payload: Any = None
+             ) -> Generator[Event, None, RpcResponse]:
+        """One RPC to ``server``; reconnects first if the endpoint was
+        talking to a different remote."""
+        server.start()
+        target = self._target(server_id, server)
+        yield from self._ensure_connected(server_id)
+        seq = next(_seq)
+        request = RpcRequest(thread_id=0, seq_id=seq, rpc_id=rpc_id,
+                             size=size, payload=payload,
+                             created_ns=self.sim.now)
+        ev = Event(self.sim)
+        target.pending[seq] = ev
+        yield self.sim.timeout(self.cpu.marshal_ns
+                               + self.cpu.copy_ns_per_byte * size
+                               + self.cpu.header_build_ns + self.cpu.mmio_ns)
+        msg = CoalescedMessage(entries=[request])
+        target.client_qp.post_send(WorkRequest(
+            verb=Verb.WRITE, length=msg.total_bytes,
+            remote_addr=target.req_region.addr,
+            rkey=target.req_region.rkey, payload=msg, signaled=False,
+        ))
+        response = yield ev
+        return response

@@ -1,0 +1,54 @@
+"""Raw one-sided RDMA read clients (paper Fig. 2a motivation).
+
+Clients hammer a server region with small RC reads over a configurable
+number of QPs.  One-sided reads never touch the server CPU — the
+bottleneck that emerges as QPs multiply is the server RNIC's connection
+cache: beyond its capacity every read stalls on a PCIe state fetch,
+which is the scalability cliff motivating the whole paper.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..net.fabric import Fabric, Node
+from ..sim import Event, Simulator
+from ..verbs import QueuePair, Transport, Verb, WorkRequest
+
+__all__ = ["ReadClient"]
+
+
+class ReadClient:
+    """Issues a closed loop of fixed-size reads over a set of QPs."""
+
+    def __init__(self, sim: Simulator, node: Node, fabric: Fabric,
+                 server: Node, region, n_qps: int, read_size: int = 16,
+                 outstanding_per_qp: int = 4):
+        self.sim = sim
+        self.node = node
+        self.region = region
+        self.read_size = read_size
+        self.outstanding_per_qp = outstanding_per_qp
+        self.completed = 0
+        self.qps: List[QueuePair] = []
+        for _ in range(n_qps):
+            cqp = QueuePair(sim, node, fabric, Transport.RC)
+            sqp = QueuePair(sim, server, fabric, Transport.RC)
+            cqp.connect(sqp)
+            self.qps.append(cqp)
+
+    def start(self) -> None:
+        """Spawn ``outstanding_per_qp`` pipelined readers per QP."""
+        for qp in self.qps:
+            for _ in range(self.outstanding_per_qp):
+                self.sim.spawn(self._reader(qp), name="raw-read")
+
+    def _reader(self, qp: QueuePair) -> Generator[Event, None, None]:
+        while True:
+            wc = yield qp.post_send(WorkRequest(
+                verb=Verb.READ, length=self.read_size,
+                remote_addr=self.region.addr, rkey=self.region.rkey,
+                signaled=False,
+            ))
+            if wc.ok:
+                self.completed += 1

@@ -1,0 +1,91 @@
+"""ScaleRPC-like time-sharing baseline (paper §10).
+
+ScaleRPC (Chen et al., EuroSys'19) keeps the RNIC cache warm by
+*time-sharing*: clients are partitioned into connection groups and the
+server serves one group per time slice, so only that group's QP state is
+hot.  The paper's critique — which this model reproduces — is that the
+required coordination "increases tail latency": a client whose slice
+just ended parks until its group comes around again.
+
+The data path reuses the RC write-based RPC mechanics of
+:mod:`repro.baselines.farm`; the addition is the group gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List
+
+from ..config import CpuConfig
+from ..net.fabric import Fabric, Node
+from ..sim import Event, Simulator
+from .farm import RcHandle, RcRpcClient, RcRpcServer
+
+__all__ = ["ScaleRpcServer", "ScaleRpcClient"]
+
+
+class ScaleRpcServer(RcRpcServer):
+    """RC RPC server that serves one connection group per time slice."""
+
+    def __init__(self, sim: Simulator, node: Node, fabric: Fabric,
+                 cpu: CpuConfig = None, n_workers: int = None,
+                 n_groups: int = 4, slice_ns: float = 50_000.0):
+        super().__init__(sim, node, fabric, cpu=cpu, n_workers=n_workers)
+        if n_groups < 1:
+            raise ValueError("need at least one group")
+        if slice_ns <= 0:
+            raise ValueError("slice must be positive")
+        self.n_groups = n_groups
+        self.slice_ns = slice_ns
+        self.current_group = 0
+        self.rotations = 0
+        self._group_waiters: Dict[int, List[Event]] = {
+            g: [] for g in range(n_groups)}
+        self._next_group_rr = 0
+        sim.spawn(self._rotate(), name="scalerpc-rotate")
+
+    def allocate_group(self) -> int:
+        """Assign the next connecting client to a group round-robin."""
+        group = self._next_group_rr % self.n_groups
+        self._next_group_rr += 1
+        return group
+
+    def wait_for_group(self, group: int) -> Event:
+        """Event firing when ``group``'s slice begins (or immediately)."""
+        ev = Event(self.sim)
+        if group == self.current_group:
+            ev.succeed()
+        else:
+            self._group_waiters[group].append(ev)
+        return ev
+
+    def _rotate(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.sim.timeout(self.slice_ns)
+            self.current_group = (self.current_group + 1) % self.n_groups
+            self.rotations += 1
+            waiters = self._group_waiters[self.current_group]
+            self._group_waiters[self.current_group] = []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+
+
+class ScaleRpcClient(RcRpcClient):
+    """RC RPC client gated on its connection group's time slice."""
+
+    def connect(self, server: ScaleRpcServer, n_qps: int,
+                threads_per_qp: int = 1) -> RcHandle:
+        handle = super().connect(server, n_qps, threads_per_qp)
+        handle.group = server.allocate_group()
+        handle.server = server
+        return handle
+
+    def call(self, handle: RcHandle, thread_id: int, rpc_id: int, size: int,
+             payload=None) -> Generator:
+        """One RPC, but only inside the handle's group slice."""
+        server: ScaleRpcServer = handle.server
+        if handle.group != server.current_group:
+            yield server.wait_for_group(handle.group)
+        response = yield from super().call(handle, thread_id, rpc_id, size,
+                                           payload)
+        return response

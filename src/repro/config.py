@@ -1,0 +1,147 @@
+"""Calibration constants for the simulated RDMA stack.
+
+All times are **nanoseconds**, all sizes **bytes**, all rates **per ns**.
+The defaults are calibrated so the motivation experiments (paper Fig. 2)
+land in the same regime as the paper's ConnectX-5 measurements: RC read
+throughput peaking around 40 Mops in the 176-704 QP window and collapsing
+beyond it, and UD RPC saturating near 30 Mops on server CPU.
+
+Every experiment builds its own config objects, so benchmarks can ablate a
+single constant without touching global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NicConfig", "CpuConfig", "NetConfig", "FlockConfig", "ClusterConfig"]
+
+GBPS = 1.0 / 8.0  # bytes per ns per Gbps
+
+#: Paper Table 1 / §8.1: MTU used across all nodes.
+DEFAULT_MTU = 4096
+
+#: Paper §2.1: maximum RC/UC message size is 2 GB.
+RC_MAX_MSG = 2 * 1024 * 1024 * 1024
+
+
+@dataclass
+class NicConfig:
+    """RNIC model parameters (one per node).
+
+    The connection-state cache (QP context + MTT/MPT) is the crux of the
+    paper's motivation: once the working set of QPs exceeds
+    ``qp_cache_entries``, every touched QP costs a PCIe fetch that stalls
+    one of ``miss_slots`` pipeline slots for ``cache_miss_ns``.
+    """
+
+    #: Messages/ns the RNIC can process per direction (42 Mops = ConnectX-5
+    #: small-message regime as observed in Fig. 2a's peak).
+    message_rate: float = 42e-3
+    #: Burst allowance for the rate limiter (messages).
+    message_burst: float = 32.0
+    #: QP contexts the NIC cache holds before thrashing (Fig. 2a knee).
+    qp_cache_entries: int = 560
+    #: PCIe round trip to fetch evicted QP state (paper §2.2: "several
+    #: microseconds" worst case; 750 ns models a warm host cache line).
+    cache_miss_ns: float = 750.0
+    #: Concurrent in-flight cache-miss fetches the NIC pipeline sustains.
+    miss_slots: int = 8
+    #: Memory-translation entries cached (MTT/MPT); a miss costs the same
+    #: PCIe fetch.  Large enough by default that only experiments that
+    #: register many regions exercise it.
+    mtt_cache_entries: int = 4096
+    #: Fixed per-message NIC latency (DMA setup, pipeline traversal).
+    base_latency_ns: float = 250.0
+    #: Extra latency for generating a completion entry (DMA write of CQE).
+    cqe_dma_ns: float = 30.0
+
+
+@dataclass
+class CpuConfig:
+    """Per-node CPU cost model.
+
+    These constants charge virtual time for the software operations the
+    paper identifies as the UD bottleneck (§2.2: ``ibv_post_recv`` recycle
+    and ``ibv_poll_cq``) and for FLock's cheaper memory polling.
+    """
+
+    cores: int = 32
+    #: Cost of one MMIO doorbell (posting a work request batch).
+    mmio_ns: float = 90.0
+    #: Successful completion-queue poll (per CQE reaped).
+    cq_poll_ns: float = 60.0
+    #: Recycling one UD receive buffer (ibv_post_recv).
+    ud_recv_recycle_ns: float = 150.0
+    #: Per-message UD header/transport processing in software (eRPC-style
+    #: reliability + congestion control bookkeeping).
+    ud_sw_transport_ns: float = 350.0
+    #: Detecting one coalesced message by polling a ring buffer (FLock).
+    ring_poll_ns: float = 80.0
+    #: Additional scan cost per extra ring buffer a server worker watches
+    #: (the no-sharing config polls many more rings; §8.3.1).
+    ring_scan_per_qp_ns: float = 6.0
+    #: Decoding one request out of a coalesced message.
+    decode_ns: float = 40.0
+    #: Copying payload into a combining buffer, per byte.
+    copy_ns_per_byte: float = 0.035
+    #: Fixed per-request client-side send-path cost (marshalling).
+    marshal_ns: float = 45.0
+    #: Building a coalesced message header + canary.
+    header_build_ns: float = 50.0
+
+
+@dataclass
+class NetConfig:
+    """Fabric model: 100 Gbps links through a single switch."""
+
+    bandwidth_bytes_per_ns: float = 100 * GBPS
+    #: One-way propagation incl. switch traversal.
+    propagation_ns: float = 600.0
+    #: Wire overhead per packet (RoCEv2 headers + FCS).
+    per_packet_header_bytes: int = 60
+    mtu: int = DEFAULT_MTU
+    #: Jitter bound for UD packet delivery (models possible reordering).
+    ud_jitter_ns: float = 120.0
+
+
+@dataclass
+class FlockConfig:
+    """FLock protocol parameters (paper §4-§6 defaults)."""
+
+    #: Maximum QPs the receiver keeps active (paper: 256).
+    max_aqp: int = 256
+    #: Credits granted per batch (paper: C = 32).
+    credit_batch: int = 32
+    #: Renew when remaining credits drop to half the batch.
+    credit_renew_threshold: int = 16
+    #: Bound on requests a leader coalesces per cycle (leader progress).
+    max_combine: int = 16
+    #: Bound on the wire size of one coalesced message.
+    max_combine_bytes: int = 4096
+    #: QP scheduler redistribution interval.
+    sched_interval_ns: float = 1_000_000.0
+    #: Sender-side thread scheduler interval.
+    thread_sched_interval_ns: float = 1_000_000.0
+    #: Ring buffer capacity per QP, in coalesced messages.
+    ring_slots: int = 128
+    #: Ring buffer capacity per QP, in bytes (the Fig. 5 ring is a
+    #: contiguous byte buffer, so large payloads consume more of it).
+    ring_bytes: int = 16384
+    #: QPs created per connection handle (the pool multiplexed by FLock).
+    qps_per_handle: int = 64
+    #: Selective signaling: one signaled WR out of N.
+    signal_every: int = 16
+
+
+@dataclass
+class ClusterConfig:
+    """A full experiment topology plus all hardware configs."""
+
+    n_clients: int = 23
+    n_servers: int = 1
+    seed: int = 1
+    nic: NicConfig = field(default_factory=NicConfig)
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    net: NetConfig = field(default_factory=NetConfig)
+    flock: FlockConfig = field(default_factory=FlockConfig)

@@ -1,0 +1,61 @@
+"""FLock: scaling RDMA RPCs over shared reliable connections.
+
+The paper's contribution: connection-handle multiplexing (§3), coalesced
+leader-follower FLock synchronization (§4), and symbiotic send-recv
+scheduling — receiver-side QP scheduling plus sender-side thread
+scheduling (§5) — with memory/atomic verbs riding the same machinery (§6).
+"""
+
+from .api import FlockNode
+from .credits import CreditGrant, CreditState, RenewRequest
+from .handle import ConnectionHandle, MemOp, QpChannel, ThreadState
+from .memops import MemoryOps
+from .message import (
+    CANARY_BYTES,
+    HEADER_BYTES,
+    META_BYTES,
+    CoalescedMessage,
+    RpcRequest,
+    RpcResponse,
+    coalesced_size,
+)
+from .qp_scheduler import UtilizationTable, compute_allocation
+from .ringbuf import RingBuffer, RingOverflow, SenderView
+from .rpc import ActiveSetUpdate, FlockClient, FlockServer
+from .tcq import CombiningQueue, PendingSend
+from .tenancy import Tenant, TenantManager
+from .thread_scheduler import ThreadStatSnapshot, ThreadStats, assign_threads
+
+__all__ = [
+    "ActiveSetUpdate",
+    "CANARY_BYTES",
+    "CoalescedMessage",
+    "CombiningQueue",
+    "ConnectionHandle",
+    "CreditGrant",
+    "CreditState",
+    "FlockClient",
+    "FlockNode",
+    "FlockServer",
+    "HEADER_BYTES",
+    "META_BYTES",
+    "MemOp",
+    "MemoryOps",
+    "PendingSend",
+    "QpChannel",
+    "RenewRequest",
+    "RingBuffer",
+    "RingOverflow",
+    "RpcRequest",
+    "RpcResponse",
+    "SenderView",
+    "Tenant",
+    "TenantManager",
+    "ThreadState",
+    "ThreadStatSnapshot",
+    "ThreadStats",
+    "UtilizationTable",
+    "assign_threads",
+    "coalesced_size",
+    "compute_allocation",
+]

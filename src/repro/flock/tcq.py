@@ -1,0 +1,110 @@
+"""FLock synchronization: the thread combining queue (paper §4.2).
+
+Threads sharing a QP coordinate through a per-QP TCQ modelled on the MCS
+queue lock: a thread atomically appends itself; if it lands at the head
+it becomes the **leader**, otherwise a **follower** whose request will be
+coalesced by the current leader.  The leader hands buffers to concurrent
+followers, waits for their copy-completion flags, builds one coalesced
+message, issues a single RDMA write, and passes leadership to the first
+follower whose request did not fit (bounded combining guarantees leader
+progress).
+
+In the simulator the atomic swap is the (deterministic) append below, and
+"concurrent" is literal: whatever is queued when the leader collects its
+batch.  Leadership is transient exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from ..sim import percentile
+
+__all__ = ["CombiningQueue", "PendingSend"]
+
+
+class PendingSend:
+    """One thread's queued send: the slot a follower hands to the leader."""
+
+    __slots__ = ("request", "copied", "sent_event", "response_event", "enqueued_ns")
+
+    def __init__(self, request, enqueued_ns: float):
+        self.request = request
+        self.copied = False
+        #: Fired by the leader once the coalesced message containing this
+        #: request has been posted (the follower resumes then).
+        self.sent_event = None
+        #: Memory operations only: fired with the verbs completion.
+        self.response_event = None
+        self.enqueued_ns = enqueued_ns
+
+
+class CombiningQueue:
+    """Per-QP MCS-style combining queue with bounded batches."""
+
+    def __init__(self, max_combine: int):
+        if max_combine < 1:
+            raise ValueError("max_combine must be >= 1")
+        self.max_combine = max_combine
+        self.pending: Deque[PendingSend] = deque()
+        self.leader_active = False
+        #: Coalescing degrees of messages sent since the last credit
+        #: renewal (the leader reports the median; §5.1).
+        self.degrees_since_report: List[int] = []
+        self.messages_sent = 0
+        self.requests_sent = 0
+        self.leader_cycles = 0
+
+    # -- enqueue protocol ---------------------------------------------------
+
+    def enqueue(self, slot: PendingSend) -> bool:
+        """Atomic-swap append.  Returns True iff the caller is now leader
+        (the TCQ tail was null, MCS-style)."""
+        self.pending.append(slot)
+        if not self.leader_active:
+            self.leader_active = True
+            return True
+        return False
+
+    # -- leader protocol -------------------------------------------------------
+
+    def collect(self) -> List[PendingSend]:
+        """Leader: take up to ``max_combine`` queued requests."""
+        batch: List[PendingSend] = []
+        while self.pending and len(batch) < self.max_combine:
+            batch.append(self.pending.popleft())
+        for slot in batch:
+            slot.copied = True
+        return batch
+
+    def record_message(self, degree: int) -> None:
+        self.degrees_since_report.append(degree)
+        self.messages_sent += 1
+        self.requests_sent += degree
+        self.leader_cycles += 1
+
+    def handoff(self) -> bool:
+        """Leader finished a cycle.  True if leadership passes to the next
+        queued thread (another cycle must run); False if the TCQ drained."""
+        if self.pending:
+            return True
+        self.leader_active = False
+        return False
+
+    # -- metrics -------------------------------------------------------------
+
+    def median_degree(self) -> int:
+        """Median coalescing degree since the last report (>= 1), which the
+        leader piggybacks on credit renewals as the QP contention metric."""
+        if not self.degrees_since_report:
+            return 1
+        value = percentile(sorted(self.degrees_since_report), 50.0)
+        self.degrees_since_report = []
+        return max(1, int(round(value)))
+
+    @property
+    def mean_degree(self) -> float:
+        if self.messages_sent == 0:
+            return 1.0
+        return self.requests_sent / self.messages_sent

@@ -1,0 +1,150 @@
+"""Multi-tenant QP allocation (paper §9, future work).
+
+The paper sketches multi-application support via "a central user-space
+process that manages network resources and allocates them to application
+processes as per their utilization", in the spirit of Snap.  This module
+implements that sketch as a hierarchical allocation policy plugged into
+the receiver-side QP scheduler:
+
+1. the MAX_AQP budget is first split across *tenants* by weighted fair
+   share with water-filling (an idle tenant's entitlement spills over to
+   busy ones, but a busy tenant can never be pushed below its weighted
+   share);
+2. within each tenant, the paper's per-sender AQP formula (§5.1) divides
+   the tenant's budget across its clients by utilization.
+
+Attach a :class:`TenantManager` to ``FlockServer.tenancy`` and register
+each client id under a tenant; unregistered clients fall into the
+default tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from .qp_scheduler import compute_allocation
+
+__all__ = ["Tenant", "TenantManager"]
+
+DEFAULT_TENANT = "default"
+
+
+@dataclass
+class Tenant:
+    """One application sharing the server's connection budget."""
+
+    name: str
+    weight: float = 1.0
+    client_ids: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+
+
+class TenantManager:
+    """Weighted-fair hierarchical splitter for the QP scheduler."""
+
+    def __init__(self):
+        self.tenants: Dict[str, Tenant] = {}
+        self._tenant_of: Dict[int, str] = {}
+        self.register_tenant(DEFAULT_TENANT, weight=1.0)
+        #: Per-tenant budgets computed at the last redistribution.
+        self.last_budgets: Dict[str, int] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register_tenant(self, name: str, weight: float = 1.0) -> Tenant:
+        """Create (or reweight) a tenant."""
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            tenant = Tenant(name=name, weight=weight)
+            self.tenants[name] = tenant
+        else:
+            if weight <= 0:
+                raise ValueError("tenant weight must be positive")
+            tenant.weight = weight
+        return tenant
+
+    def assign_client(self, client_id: int, tenant_name: str) -> None:
+        """Place a client (connection handle) under a tenant."""
+        if tenant_name not in self.tenants:
+            raise KeyError("unknown tenant %r" % tenant_name)
+        previous = self._tenant_of.get(client_id)
+        if previous is not None:
+            self.tenants[previous].client_ids.remove(client_id)
+        self._tenant_of[client_id] = tenant_name
+        self.tenants[tenant_name].client_ids.append(client_id)
+
+    def tenant_of(self, client_id: int) -> str:
+        return self._tenant_of.get(client_id, DEFAULT_TENANT)
+
+    # -- allocation -----------------------------------------------------------
+
+    def split(
+        self,
+        per_client_u: Mapping[int, float],
+        max_aqp: int,
+        qps_per_client: Mapping[int, int],
+    ) -> Dict[int, int]:
+        """Hierarchical replacement for :func:`compute_allocation`."""
+        if max_aqp < 1:
+            raise ValueError("max_aqp must be >= 1")
+        # Group clients (unassigned ones land in the default tenant).
+        groups: Dict[str, List[int]] = {}
+        for client_id in per_client_u:
+            groups.setdefault(self.tenant_of(client_id), []).append(client_id)
+
+        # Demand per tenant: QPs its functioning clients could use, with
+        # one QP floor per client (dormant senders keep one, §5.1).
+        demand: Dict[str, int] = {}
+        for name, clients in groups.items():
+            total = 0
+            for cid in clients:
+                cap = max(1, qps_per_client.get(cid, 1))
+                total += cap if per_client_u[cid] > 0 else 1
+            demand[name] = max(len(clients), total if total else len(clients))
+
+        budgets = self._water_fill(
+            {name: self.tenants[name].weight if name in self.tenants else 1.0
+             for name in groups},
+            demand, max_aqp)
+        self.last_budgets = dict(budgets)
+
+        # Within each tenant, the paper's §5.1 formula.
+        allocation: Dict[int, int] = {}
+        for name, clients in groups.items():
+            tenant_u = {cid: per_client_u[cid] for cid in clients}
+            tenant_caps = {cid: qps_per_client.get(cid, 1) for cid in clients}
+            allocation.update(compute_allocation(
+                tenant_u, max(1, budgets[name]), tenant_caps))
+        return allocation
+
+    @staticmethod
+    def _water_fill(weights: Mapping[str, float], demand: Mapping[str, int],
+                    budget: int) -> Dict[str, int]:
+        """Weighted max-min fair shares: satisfied tenants return their
+        surplus, which is re-split among the still-hungry by weight."""
+        remaining = dict(demand)
+        allocation = {name: 0 for name in demand}
+        pool = budget
+        hungry = {name for name, d in remaining.items() if d > 0}
+        while pool > 0 and hungry:
+            round_pool = pool
+            total_weight = sum(weights[name] for name in hungry)
+            progress = False
+            for name in sorted(hungry):
+                if pool <= 0:
+                    break
+                share = max(1, int(round_pool * weights[name] / total_weight))
+                grant = min(share, remaining[name], pool)
+                if grant > 0:
+                    allocation[name] += grant
+                    remaining[name] -= grant
+                    pool -= grant
+                    progress = True
+            hungry = {name for name, d in remaining.items() if d > 0}
+            if not progress:
+                break
+        return allocation

@@ -1,0 +1,36 @@
+"""Experiment harness: per-figure runners, metrics, table formatting."""
+
+from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
+from .metrics import Recorder, RunResult
+from .microbench import (
+    MicrobenchConfig,
+    bench_scale,
+    run_erpc,
+    run_flock,
+    run_raw_reads,
+    run_rc,
+    run_ud_rpc,
+)
+from .tables import format_table, print_table
+from .txnbench import TxnBenchConfig, build_txn_servers, run_fasst_txn, run_flocktx
+
+__all__ = [
+    "IndexBenchConfig",
+    "MicrobenchConfig",
+    "Recorder",
+    "RunResult",
+    "TxnBenchConfig",
+    "bench_scale",
+    "build_txn_servers",
+    "format_table",
+    "print_table",
+    "run_erpc",
+    "run_erpc_index",
+    "run_fasst_txn",
+    "run_flock",
+    "run_flock_index",
+    "run_flocktx",
+    "run_raw_reads",
+    "run_rc",
+    "run_ud_rpc",
+]

@@ -1,0 +1,256 @@
+"""Command-line experiment runner.
+
+Regenerates any paper figure without pytest::
+
+    python -m repro.harness.cli fig2a
+    python -m repro.harness.cli fig6 --threads 1 8 32 --outstanding 1
+    python -m repro.harness.cli fig14 --threads 4
+    python -m repro.harness.cli list
+
+Each command prints the same paper-style table the benchmark suite
+produces.  Use ``--scale`` to lengthen measurement windows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List
+
+from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
+from .microbench import (
+    MicrobenchConfig,
+    run_erpc,
+    run_flock,
+    run_raw_reads,
+    run_rc,
+    run_ud_rpc,
+)
+from .tables import print_table
+from .txnbench import TxnBenchConfig, run_fasst_txn, run_flocktx
+
+
+def cmd_fig2a(args) -> None:
+    """Fig 2(a): RC read scaling sweep."""
+    rows = []
+    for qps in args.qps:
+        result = run_raw_reads(qps, n_clients=args.clients,
+                               outstanding_per_qp=2)
+        rows.append([qps, round(result.mops, 2),
+                     result.extras["qp_cache_miss"]])
+    print_table("Fig 2(a): RC read throughput vs #QPs",
+                ["#QPs", "Mops", "cache miss"], rows)
+
+
+def cmd_fig2b(args) -> None:
+    """Fig 2(b): UD RPC sender sweep."""
+    rows = []
+    for senders in args.senders:
+        result = run_ud_rpc(senders, n_clients=args.clients)
+        rows.append([senders, round(result.mops, 2),
+                     result.extras["server_cpu"]])
+    print_table("Fig 2(b): UD RPC throughput vs #senders",
+                ["#senders", "Mops", "server CPU"], rows)
+
+
+def cmd_fig6(args) -> None:
+    """Figs 6-8: FLock vs eRPC thread sweep."""
+    rows = []
+    for threads in args.threads:
+        cfg = MicrobenchConfig(n_clients=args.clients,
+                               threads_per_client=threads,
+                               outstanding=args.outstanding)
+        flock = run_flock(cfg)
+        erpc = run_erpc(cfg)
+        rows.append([threads, round(flock.mops, 2), round(erpc.mops, 2),
+                     round(flock.median_us, 1), round(erpc.median_us, 1),
+                     round(flock.p99_us, 1), round(erpc.p99_us, 1)])
+    print_table("Figs 6/7/8: FLock vs eRPC (outstanding=%d)"
+                % args.outstanding,
+                ["threads", "FLock Mops", "eRPC Mops", "FLock med",
+                 "eRPC med", "FLock p99", "eRPC p99"], rows)
+
+
+def cmd_fig9(args) -> None:
+    """Fig 9: QP sharing approaches."""
+    rows = []
+    for threads in args.threads:
+        cfg = MicrobenchConfig(n_clients=args.clients,
+                               threads_per_client=threads, outstanding=8)
+        rows.append([threads,
+                     round(run_flock(cfg).mops, 2),
+                     round(run_rc(cfg, threads_per_qp=1).mops, 2),
+                     round(run_rc(cfg, threads_per_qp=2).mops, 2),
+                     round(run_rc(cfg, threads_per_qp=4).mops, 2)])
+    print_table("Fig 9: sharing approaches",
+                ["threads", "FLock", "no-share", "FaRM-2", "FaRM-4"], rows)
+
+
+def cmd_fig10(args) -> None:
+    """Fig 10: coalescing on/off."""
+    rows = []
+    for outstanding in args.outstanding_list:
+        cfg = MicrobenchConfig(n_clients=args.clients,
+                               threads_per_client=32,
+                               outstanding=outstanding)
+        with_c = run_flock(cfg)
+        without_c = run_flock(cfg, coalescing=False)
+        rows.append([outstanding, round(without_c.mops, 2),
+                     round(with_c.mops, 2),
+                     round(with_c.mops / max(without_c.mops, 1e-9), 2),
+                     with_c.extras["mean_coalescing_degree"]])
+    print_table("Fig 10: coalescing impact",
+                ["outstanding", "off Mops", "on Mops", "speedup",
+                 "reqs/msg"], rows)
+
+
+def cmd_fig14(args) -> None:
+    """Figs 14/15: FLockTX vs FaSST transactions."""
+    rows = []
+    for threads in args.threads:
+        cfg = TxnBenchConfig(workload=args.workload,
+                             threads_per_client=threads)
+        flock = run_flocktx(cfg)
+        fasst = run_fasst_txn(cfg)
+        rows.append([threads, round(flock.mops, 3), round(fasst.mops, 3),
+                     round(flock.p99_us, 1), round(fasst.p99_us, 1)])
+    print_table("Figs 14/15: %s — FLockTX vs FaSST" % args.workload,
+                ["threads", "FLockTX Mtxn/s", "FaSST Mtxn/s",
+                 "FLockTX p99", "FaSST p99"], rows)
+
+
+def cmd_fig11(args) -> None:
+    """Fig 11: sender-side thread scheduling under mixed payloads."""
+    from ..config import FlockConfig
+    from ..workloads import BimodalSize
+
+    rows = []
+    static_cfg = FlockConfig(max_aqp=100_000)
+    for size in args.sizes:
+        cfg = MicrobenchConfig(
+            n_clients=args.clients, threads_per_client=32, outstanding=8,
+            sizegen=BimodalSize(n_threads=32, large_size=size))
+        without = run_flock(cfg, qps_per_process=16,
+                            thread_scheduling=False, flock_cfg=static_cfg)
+        with_sched = run_flock(cfg, qps_per_process=16)
+        rows.append([size, round(without.mops, 2), round(with_sched.mops, 2),
+                     round(with_sched.mops / max(without.mops, 1e-9), 2)])
+    print_table("Fig 11: thread scheduling (90% 64B + 10% large)",
+                ["large B", "no-sched Mops", "sched Mops", "speedup"], rows)
+
+
+def cmd_fig12(args) -> None:
+    """Fig 12: node scalability with increasing client processes."""
+    rows = []
+    for total in args.clients_list:
+        procs = max(1, total // args.nodes)
+        shared = run_flock(MicrobenchConfig(
+            n_clients=args.nodes, processes_per_client=procs,
+            threads_per_client=2, outstanding=8), qps_per_process=1)
+        one = run_flock(MicrobenchConfig(
+            n_clients=args.nodes, processes_per_client=procs,
+            threads_per_client=1, outstanding=8), qps_per_process=1)
+        rows.append([total, round(one.mops, 2), round(shared.mops, 2),
+                     round(shared.p99_us, 1)])
+    print_table("Fig 12: node scalability",
+                ["#clients", "1t/1QP Mops", "2t/1QP Mops", "2t/1QP p99 us"],
+                rows)
+
+
+def cmd_fig16(args) -> None:
+    """Figs 16-18: HydraList over FLock vs eRPC."""
+    rows = []
+    for threads in args.threads:
+        cfg = IndexBenchConfig(n_clients=args.clients,
+                               threads_per_client=threads,
+                               outstanding=args.outstanding)
+        flock = run_flock_index(cfg)
+        erpc = run_erpc_index(cfg)
+        rows.append([threads, round(flock["total_mops"], 2),
+                     round(erpc["total_mops"], 2),
+                     round(flock["get"].median_us, 1),
+                     round(erpc["get"].median_us, 1)])
+    print_table("Figs 16-18: HydraList — FLock vs eRPC",
+                ["threads", "FLock Mops", "eRPC Mops", "FLock get med",
+                 "eRPC get med"], rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree: one subcommand per experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.cli",
+        description="Regenerate FLock paper experiments")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="measurement-window multiplier")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig2a", help="RC read scaling (Fig 2a)")
+    p.add_argument("--qps", type=int, nargs="+",
+                   default=[22, 176, 704, 2816])
+    p.add_argument("--clients", type=int, default=22)
+    p.set_defaults(fn=cmd_fig2a)
+
+    p = sub.add_parser("fig2b", help="UD RPC scaling (Fig 2b)")
+    p.add_argument("--senders", type=int, nargs="+", default=[22, 352, 1408])
+    p.add_argument("--clients", type=int, default=22)
+    p.set_defaults(fn=cmd_fig2b)
+
+    p = sub.add_parser("fig6", help="FLock vs eRPC (Figs 6-8)")
+    p.add_argument("--threads", type=int, nargs="+", default=[1, 8, 16, 32])
+    p.add_argument("--outstanding", type=int, default=1)
+    p.add_argument("--clients", type=int, default=23)
+    p.set_defaults(fn=cmd_fig6)
+
+    p = sub.add_parser("fig9", help="sharing approaches (Fig 9)")
+    p.add_argument("--threads", type=int, nargs="+", default=[8, 32])
+    p.add_argument("--clients", type=int, default=23)
+    p.set_defaults(fn=cmd_fig9)
+
+    p = sub.add_parser("fig10", help="coalescing ablation (Fig 10)")
+    p.add_argument("--outstanding-list", type=int, nargs="+",
+                   default=[1, 4, 8])
+    p.add_argument("--clients", type=int, default=23)
+    p.set_defaults(fn=cmd_fig10)
+
+    p = sub.add_parser("fig11", help="thread scheduling (Fig 11)")
+    p.add_argument("--sizes", type=int, nargs="+", default=[512, 1024])
+    p.add_argument("--clients", type=int, default=23)
+    p.set_defaults(fn=cmd_fig11)
+
+    p = sub.add_parser("fig12", help="node scalability (Fig 12)")
+    p.add_argument("--clients-list", type=int, nargs="+",
+                   default=[46, 184, 368])
+    p.add_argument("--nodes", type=int, default=23)
+    p.set_defaults(fn=cmd_fig12)
+
+    p = sub.add_parser("fig14", help="transactions (Figs 14-15)")
+    p.add_argument("--workload", choices=["tatp", "smallbank"],
+                   default="tatp")
+    p.add_argument("--threads", type=int, nargs="+", default=[2, 8])
+    p.set_defaults(fn=cmd_fig14)
+
+    p = sub.add_parser("fig16", help="HydraList (Figs 16-18)")
+    p.add_argument("--threads", type=int, nargs="+", default=[8, 32])
+    p.add_argument("--outstanding", type=int, default=8)
+    p.add_argument("--clients", type=int, default=22)
+    p.set_defaults(fn=cmd_fig16)
+
+    p = sub.add_parser("list", help="list available experiments")
+    p.set_defaults(fn=lambda args: print("\n".join(
+        sorted(c for c in sub.choices if c != "list"))))
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Measurement utilities shared by every experiment.
+
+Closed-loop workers record per-op latency into a :class:`Recorder` that
+only counts completions inside the measurement window (after warmup);
+throughput is completed ops per virtual second.  Everything reports in
+the paper's units: **Mops** and **µs**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import Simulator, summarize_latencies
+
+__all__ = ["Recorder", "RunResult"]
+
+
+class Recorder:
+    """Collects completions that fall inside [start, end) virtual time."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.window_start: Optional[float] = None
+        self.window_end: Optional[float] = None
+        self.ops = 0
+        self.latencies_ns: List[float] = []
+        self.total_ops = 0
+
+    def open_window(self, start: float, end: float) -> None:
+        if end <= start:
+            raise ValueError("empty measurement window")
+        self.window_start = start
+        self.window_end = end
+
+    def record(self, started_ns: float, extra: float = 0.0) -> None:
+        """Record one completed op that began at ``started_ns``."""
+        self.total_ops += 1
+        now = self.sim.now
+        if self.window_start is None or not (self.window_start <= now < self.window_end):
+            return
+        self.ops += 1
+        self.latencies_ns.append(now - started_ns + extra)
+
+    def result(self, **extras) -> "RunResult":
+        if self.window_start is None:
+            raise RuntimeError("measurement window was never opened")
+        duration = self.window_end - self.window_start
+        return RunResult(ops=self.ops, duration_ns=duration,
+                         latency=summarize_latencies(self.latencies_ns),
+                         extras=dict(extras))
+
+    def cdf_us(self, points: int = 20):
+        """Latency CDF as (percentile, µs) pairs — Figs. 7/8-style curves."""
+        from ..sim import percentile as pct
+        if points < 2:
+            raise ValueError("need at least two CDF points")
+        if not self.latencies_ns:
+            return []
+        ordered = sorted(self.latencies_ns)
+        return [(p, pct(ordered, p) / 1e3)
+                for p in (i * 100.0 / (points - 1) for i in range(points))]
+
+
+@dataclass
+class RunResult:
+    """One experiment data point."""
+
+    ops: int
+    duration_ns: float
+    latency: Dict[str, float]
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def mops(self) -> float:
+        """Throughput in million ops per (virtual) second."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.ops / self.duration_ns * 1e3
+
+    @property
+    def median_us(self) -> float:
+        return self.latency["median"] / 1e3
+
+    @property
+    def p99_us(self) -> float:
+        return self.latency["p99"] / 1e3
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "mops": round(self.mops, 3),
+            "median_us": round(self.median_us, 2),
+            "p99_us": round(self.p99_us, 2),
+            "ops": self.ops,
+        }
+
+    def __repr__(self) -> str:
+        return ("RunResult(mops=%.3f, median=%.2fus, p99=%.2fus, ops=%d)"
+                % (self.mops, self.median_us, self.p99_us, self.ops))

@@ -1,0 +1,350 @@
+"""Microbenchmark runners (paper Figs. 2, 6-12).
+
+Each function builds a fresh cluster, spawns closed-loop client workers,
+runs a warmup long enough for FLock's schedulers to converge, measures a
+virtual-time window, and returns a :class:`RunResult` in paper units.
+
+``REPRO_BENCH_SCALE`` (env var, default 1.0) multiplies the warmup and
+measurement windows for longer, lower-variance runs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..baselines import (
+    ErpcEndpoint,
+    ErpcServer,
+    RcRpcClient,
+    RcRpcServer,
+    ReadClient,
+    UdEndpoint,
+    UdRpcServer,
+)
+from ..config import ClusterConfig, FlockConfig
+from ..flock import FlockNode
+from ..net import build_cluster
+from ..sim import Simulator
+from ..workloads import FixedSize
+from .metrics import Recorder, RunResult
+
+__all__ = [
+    "MicrobenchConfig",
+    "bench_scale",
+    "run_flock",
+    "run_erpc",
+    "run_rc",
+    "run_raw_reads",
+    "run_ud_rpc",
+]
+
+ECHO_RPC = 1
+
+
+def bench_scale() -> float:
+    """Duration multiplier from the REPRO_BENCH_SCALE environment var."""
+    try:
+        return max(0.1, float(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1.0
+
+
+@dataclass
+class MicrobenchConfig:
+    """Shared knobs of the RPC microbenchmarks."""
+
+    n_clients: int = 23
+    threads_per_client: int = 16
+    outstanding: int = 1
+    #: Client processes per node (Fig. 12 runs up to 16).
+    processes_per_client: int = 1
+    req_size: int = 64
+    resp_size: int = 64
+    #: Server-side application work per request.
+    handler_ns: float = 100.0
+    #: Per-iteration client think-time jitter (uniform [0, x) ns): real
+    #: application threads never re-issue in perfect lockstep, which
+    #: keeps coalescing degrees realistic instead of phase-locked.
+    think_jitter_ns: float = 300.0
+    warmup_ns: float = 600_000.0
+    measure_ns: float = 500_000.0
+    seed: int = 1
+    #: Optional per-thread size generator (Fig. 11); overrides req_size.
+    sizegen: Optional[object] = None
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+
+    def durations(self) -> tuple:
+        scale = bench_scale()
+        return self.warmup_ns * scale, self.measure_ns * scale
+
+    def make_sizegen(self):
+        return self.sizegen if self.sizegen is not None else FixedSize(self.req_size)
+
+
+def _echo_handler(resp_size: int, handler_ns: float):
+    def handler(request):
+        return resp_size, None, handler_ns
+    return handler
+
+
+def _run_window(sim: Simulator, recorder: Recorder, warmup: float,
+                measure: float) -> None:
+    recorder.open_window(warmup, warmup + measure)
+    sim.run(until=warmup + measure)
+
+
+# ---------------------------------------------------------------------------
+# FLock (Figs. 6-12)
+# ---------------------------------------------------------------------------
+
+def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
+              coalescing: bool = True, thread_scheduling: bool = True,
+              flock_cfg: Optional[FlockConfig] = None) -> RunResult:
+    """Closed-loop echo RPCs over FLock."""
+    sim = Simulator()
+    cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
+    servers, clients, fabric = build_cluster(sim, cluster)
+    if flock_cfg is None:
+        # Fast scheduler convergence for short measurement windows.
+        flock_cfg = FlockConfig(sched_interval_ns=150_000.0,
+                                thread_sched_interval_ns=150_000.0)
+    server = FlockNode(sim, servers[0], fabric, flock_cfg)
+    server.fl_reg_handler(ECHO_RPC, _echo_handler(cfg.resp_size, cfg.handler_ns))
+
+    recorder = Recorder(sim)
+    sizegen = cfg.make_sizegen()
+    n_qps = qps_per_process or cfg.threads_per_client
+    handles = []
+    client_nodes = []
+    jitter_rng = random.Random(cfg.seed ^ 0x7EA)
+
+    def worker(flock_client, handle, thread_id, rng):
+        while True:
+            if cfg.think_jitter_ns > 0:
+                yield sim.timeout(rng.random() * cfg.think_jitter_ns)
+            size = sizegen.next(thread_id)
+            started = sim.now
+            yield from flock_client.fl_call(handle, thread_id, ECHO_RPC, size)
+            recorder.record(started)
+
+    for c_idx, node in enumerate(clients):
+        for p_idx in range(cfg.processes_per_client):
+            fnode = FlockNode(sim, node, fabric, flock_cfg,
+                              seed=cfg.seed + c_idx * 131 + p_idx)
+            fnode.client.coalescing_enabled = coalescing
+            fnode.client.thread_scheduling_enabled = thread_scheduling
+            handle = fnode.fl_connect(server, n_qps=n_qps)
+            handles.append(handle)
+            client_nodes.append(fnode)
+            for t_idx in range(cfg.threads_per_client):
+                for _ in range(cfg.outstanding):
+                    rng = random.Random(jitter_rng.getrandbits(48))
+                    sim.spawn(worker(fnode, handle, t_idx, rng),
+                              name="bench-worker")
+
+    warmup, measure = cfg.durations()
+    _run_window(sim, recorder, warmup, measure)
+    degree = (sum(h.mean_coalescing_degree() for h in handles) / len(handles)
+              if handles else 1.0)
+    return recorder.result(
+        system="flock",
+        mean_coalescing_degree=round(degree, 3),
+        active_qps=server.server.total_active_qps,
+        server_cpu=round(servers[0].cpu.utilization(), 3),
+        server_net_frac=round(servers[0].cpu.network_fraction(), 3),
+        qp_cache_miss=round(servers[0].rnic.qp_cache.stats.miss_ratio, 4),
+        events=sim.events_processed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# eRPC (Figs. 6-8, 16-18 baseline)
+# ---------------------------------------------------------------------------
+
+def run_erpc(cfg: MicrobenchConfig) -> RunResult:
+    """Closed-loop echo RPCs over the eRPC-like UD baseline."""
+    sim = Simulator()
+    cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
+    servers, clients, fabric = build_cluster(sim, cluster)
+    server = ErpcServer(sim, servers[0], fabric)
+    server.register_handler(ECHO_RPC, _echo_handler(cfg.resp_size, cfg.handler_ns))
+
+    recorder = Recorder(sim)
+    sizegen = cfg.make_sizegen()
+    endpoint_counter = [0]
+
+    jitter_rng = random.Random(cfg.seed ^ 0x7EA)
+
+    def worker(endpoint, server_qp, thread_id, rng):
+        while True:
+            if cfg.think_jitter_ns > 0:
+                yield sim.timeout(rng.random() * cfg.think_jitter_ns)
+            size = sizegen.next(thread_id)
+            started = sim.now
+            response = yield from endpoint.call(server, server_qp, ECHO_RPC, size)
+            if response is not None:
+                recorder.record(started)
+
+    for node in clients:
+        for _p in range(cfg.processes_per_client):
+            for t_idx in range(cfg.threads_per_client):
+                endpoint = ErpcEndpoint(sim, node, fabric)
+                server_qp = server.qp_for_client(endpoint_counter[0])
+                endpoint_counter[0] += 1
+                for _ in range(cfg.outstanding):
+                    rng = random.Random(jitter_rng.getrandbits(48))
+                    sim.spawn(worker(endpoint, server_qp, t_idx, rng),
+                              name="erpc-worker")
+
+    warmup, measure = cfg.durations()
+    _run_window(sim, recorder, warmup, measure)
+    return recorder.result(
+        system="erpc",
+        server_cpu=round(servers[0].cpu.utilization(), 3),
+        server_net_frac=round(servers[0].cpu.network_fraction(), 3),
+        recv_drops=server.recv_drops,
+        events=sim.events_processed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# RC sharing baselines: no-sharing / FaRM-style spinlock (Fig. 9)
+# ---------------------------------------------------------------------------
+
+def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1) -> RunResult:
+    """Closed-loop echo RPCs over RC write-based RPC without coalescing.
+
+    ``threads_per_qp=1`` is the dedicated-QP (no sharing) config;
+    2 or 4 is FaRM-like spinlock sharing.
+    """
+    sim = Simulator()
+    cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
+    servers, clients, fabric = build_cluster(sim, cluster)
+    server = RcRpcServer(sim, servers[0], fabric)
+    server.register_handler(ECHO_RPC, _echo_handler(cfg.resp_size, cfg.handler_ns))
+
+    recorder = Recorder(sim)
+    sizegen = cfg.make_sizegen()
+
+    jitter_rng = random.Random(cfg.seed ^ 0x7EA)
+
+    def worker(rc_client, handle, thread_id, rng):
+        while True:
+            if cfg.think_jitter_ns > 0:
+                yield sim.timeout(rng.random() * cfg.think_jitter_ns)
+            size = sizegen.next(thread_id)
+            started = sim.now
+            yield from rc_client.call(handle, thread_id, ECHO_RPC, size)
+            recorder.record(started)
+
+    for node in clients:
+        rc_client = RcRpcClient(sim, node, fabric)
+        n_qps = max(1, (cfg.threads_per_client + threads_per_qp - 1)
+                    // threads_per_qp)
+        handle = rc_client.connect(server, n_qps=n_qps,
+                                   threads_per_qp=threads_per_qp)
+        for t_idx in range(cfg.threads_per_client):
+            for _ in range(cfg.outstanding):
+                rng = random.Random(jitter_rng.getrandbits(48))
+                sim.spawn(worker(rc_client, handle, t_idx, rng),
+                          name="rc-worker")
+
+    warmup, measure = cfg.durations()
+    _run_window(sim, recorder, warmup, measure)
+    return recorder.result(
+        system="rc-%dtpq" % threads_per_qp,
+        server_cpu=round(servers[0].cpu.utilization(), 3),
+        qp_cache_miss=round(servers[0].rnic.qp_cache.stats.miss_ratio, 4),
+        events=sim.events_processed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Motivation: raw RC reads (Fig. 2a) and UD RPC (Fig. 2b)
+# ---------------------------------------------------------------------------
+
+def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
+                  outstanding_per_qp: int = 4,
+                  warmup_ns: float = 200_000.0,
+                  measure_ns: float = 300_000.0,
+                  cluster: Optional[ClusterConfig] = None) -> RunResult:
+    """16-byte RDMA reads over an increasing number of QPs."""
+    sim = Simulator()
+    cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
+    servers, clients, fabric = build_cluster(sim, cluster)
+    region = servers[0].memory.register(1 << 20)
+
+    per_client = max(1, total_qps // n_clients)
+    read_clients: List[ReadClient] = []
+    for node in clients:
+        rc = ReadClient(sim, node, fabric, servers[0], region,
+                        n_qps=per_client, read_size=read_size,
+                        outstanding_per_qp=outstanding_per_qp)
+        rc.start()
+        read_clients.append(rc)
+
+    scale = bench_scale()
+    warmup, measure = warmup_ns * scale, measure_ns * scale
+    sim.run(until=warmup)
+    before = sum(rc.completed for rc in read_clients)
+    sim.run(until=warmup + measure)
+    after = sum(rc.completed for rc in read_clients)
+    ops = after - before
+    result = RunResult(ops=ops, duration_ns=measure,
+                       latency={"count": 0, "median": 0.0, "p99": 0.0,
+                                "mean": 0.0, "min": 0.0, "max": 0.0},
+                       extras={
+                           "system": "rc-read",
+                           "total_qps": per_client * n_clients,
+                           "qp_cache_miss": round(
+                               servers[0].rnic.qp_cache.stats.miss_ratio, 4),
+                           "pcie_reads": servers[0].rnic.pcie.reads_issued,
+                       })
+    return result
+
+
+def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
+               resp_size: int = 64, handler_ns: float = 100.0,
+               outstanding: int = 2, warmup_ns: float = 200_000.0,
+               measure_ns: float = 300_000.0,
+               cluster: Optional[ClusterConfig] = None) -> RunResult:
+    """UD-based RPC with an increasing number of senders."""
+    sim = Simulator()
+    cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
+    servers, clients, fabric = build_cluster(sim, cluster)
+    server = UdRpcServer(sim, servers[0], fabric)
+    server.register_handler(ECHO_RPC, _echo_handler(resp_size, handler_ns))
+
+    recorder = Recorder(sim)
+
+    def worker(endpoint, server_qp):
+        while True:
+            started = sim.now
+            response = yield from endpoint.call(server, server_qp, ECHO_RPC,
+                                                req_size)
+            if response is not None:
+                recorder.record(started)
+
+    per_client = max(1, n_senders // n_clients)
+    sender_idx = 0
+    for node in clients:
+        for _s in range(per_client):
+            endpoint = UdEndpoint(sim, node, fabric)
+            server_qp = server.qp_for_client(sender_idx)
+            sender_idx += 1
+            for _ in range(outstanding):
+                sim.spawn(worker(endpoint, server_qp), name="ud-worker")
+
+    scale = bench_scale()
+    warmup, measure = warmup_ns * scale, measure_ns * scale
+    _run_window(sim, recorder, warmup, measure)
+    return recorder.result(
+        system="ud-rpc",
+        n_senders=per_client * n_clients,
+        server_cpu=round(servers[0].cpu.utilization(), 3),
+        server_net_frac=round(servers[0].cpu.network_fraction(), 3),
+        events=sim.events_processed,
+    )

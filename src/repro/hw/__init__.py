@@ -1,0 +1,19 @@
+"""Hardware substrate: RNIC, caches, PCIe, CPU meters, host memory."""
+
+from .cache import CacheStats, LruCache
+from .cpu import CoreMeter, CpuMeter
+from .memory import AccessError, HostMemory, MemoryRegion
+from .pcie import PcieLink
+from .rnic import Rnic
+
+__all__ = [
+    "AccessError",
+    "CacheStats",
+    "CoreMeter",
+    "CpuMeter",
+    "HostMemory",
+    "LruCache",
+    "MemoryRegion",
+    "PcieLink",
+    "Rnic",
+]

@@ -1,0 +1,53 @@
+"""PCIe link between the RNIC and host memory.
+
+Used for two things the paper cares about:
+
+* fetching evicted connection state on an RNIC cache miss (the dominant
+  cost at high QP counts), and
+* DMA of completion-queue entries, which selective signaling (§7)
+  suppresses for N-1 out of N work requests.
+
+The link supports a bounded number of concurrent outstanding reads
+(``slots``), modelling the NIC's finite number of PCIe tags; when all
+slots are busy further fetches queue FIFO — which is what converts a high
+miss *ratio* into a throughput *collapse*.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Event, Resource, Simulator
+
+__all__ = ["PcieLink"]
+
+
+class PcieLink:
+    """A host<->NIC PCIe connection with bounded outstanding reads."""
+
+    def __init__(self, sim: Simulator, read_latency_ns: float, slots: int):
+        if read_latency_ns < 0:
+            raise ValueError("negative PCIe latency")
+        self.sim = sim
+        self.read_latency_ns = read_latency_ns
+        self._slots = Resource(sim, capacity=max(1, slots))
+        self.reads_issued = 0
+        self.busy_ns = 0.0
+
+    @property
+    def outstanding(self) -> int:
+        return self._slots.in_use
+
+    @property
+    def queued(self) -> int:
+        return self._slots.queue_len
+
+    def read(self) -> Generator[Event, None, None]:
+        """Process-style: perform one PCIe read (state fetch)."""
+        self.reads_issued += 1
+        yield self._slots.acquire()
+        try:
+            self.busy_ns += self.read_latency_ns
+            yield self.sim.timeout(self.read_latency_ns)
+        finally:
+            self._slots.release()

@@ -1,0 +1,129 @@
+"""The RDMA NIC model.
+
+One :class:`Rnic` per node.  It combines the pieces the paper's Fig. 1
+identifies:
+
+* a finite **connection cache** (QP contexts) and **translation cache**
+  (MTT/MPT) backed over PCIe,
+* a **processing pipeline** with a bounded message rate per direction,
+* a **wire TX port** that serializes packets at link bandwidth, and
+* **PCIe** for state fetches and completion DMA.
+
+The verbs layer calls :meth:`tx_process` / :meth:`rx_process` around the
+fabric hop; everything is expressed as process generators so the costs
+compose in virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from ..config import NetConfig, NicConfig
+from ..sim import Event, Resource, Simulator, TokenBucket
+from .cache import LruCache
+from .pcie import PcieLink
+
+__all__ = ["Rnic"]
+
+
+class Rnic:
+    """Model of one RDMA-capable NIC."""
+
+    def __init__(self, sim: Simulator, cfg: NicConfig, net: NetConfig, name: str = "rnic"):
+        self.sim = sim
+        self.cfg = cfg
+        self.net = net
+        self.name = name
+        self.qp_cache = LruCache(cfg.qp_cache_entries)
+        self.mtt_cache = LruCache(cfg.mtt_cache_entries)
+        self.pcie = PcieLink(sim, cfg.cache_miss_ns, cfg.miss_slots)
+        self._tx_port = Resource(sim, capacity=1)
+        self._tx_bucket = TokenBucket(sim, cfg.message_rate, cfg.message_burst)
+        self._rx_bucket = TokenBucket(sim, cfg.message_rate, cfg.message_burst)
+        # Statistics.
+        self.messages_tx = 0
+        self.messages_rx = 0
+        self.bytes_tx = 0
+        self.packets_tx = 0
+        self.cqes_generated = 0
+
+    # -- wire-format helpers --------------------------------------------
+
+    def packets_for(self, nbytes: int) -> int:
+        """Number of MTU-sized packets a message occupies."""
+        if nbytes <= 0:
+            return 1
+        return (nbytes + self.net.mtu - 1) // self.net.mtu
+
+    def wire_bytes(self, nbytes: int) -> int:
+        """On-the-wire size including per-packet headers."""
+        return nbytes + self.packets_for(nbytes) * self.net.per_packet_header_bytes
+
+    def wire_time_ns(self, nbytes: int) -> float:
+        return self.wire_bytes(nbytes) / self.net.bandwidth_bytes_per_ns
+
+    # -- state-cache lookups ---------------------------------------------
+
+    def _lookup(
+        self, qpn: int, rkeys: Iterable[int]
+    ) -> Generator[Event, None, None]:
+        """Touch the QP context and any memory-translation entries.
+
+        Misses stall on PCIe; concurrent misses contend for the bounded
+        PCIe read slots, which is what converts thrashing into collapse.
+        """
+        if not self.qp_cache.access(("qp", qpn)):
+            yield from self.pcie.read()
+        for rkey in rkeys:
+            if not self.mtt_cache.access(("mr", rkey)):
+                yield from self.pcie.read()
+
+    # -- directional processing -------------------------------------------
+
+    def tx_process(
+        self, nbytes: int, qpn: int, rkeys: Iterable[int] = ()
+    ) -> Generator[Event, None, None]:
+        """NIC-side work to emit one message: state lookup, rate limit,
+        and wire serialization (the TX port is held for the wire time)."""
+        yield from self._lookup(qpn, rkeys)
+        delay = self._tx_bucket.delay_for()
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        wire = self.wire_time_ns(nbytes)
+        yield self._tx_port.acquire()
+        try:
+            yield self.sim.timeout(wire)
+        finally:
+            self._tx_port.release()
+        self.messages_tx += 1
+        self.bytes_tx += nbytes
+        self.packets_tx += self.packets_for(nbytes)
+
+    def rx_process(
+        self, nbytes: int, qpn: int, rkeys: Iterable[int] = ()
+    ) -> Generator[Event, None, None]:
+        """NIC-side work to land one inbound message."""
+        delay = self._rx_bucket.delay_for()
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        yield from self._lookup(qpn, rkeys)
+        self.messages_rx += 1
+
+    def cqe_dma(self) -> Generator[Event, None, None]:
+        """DMA one completion entry to the host CQ (skipped when the work
+        request is unsignaled; §7 selective signaling)."""
+        self.cqes_generated += 1
+        yield self.sim.timeout(self.cfg.cqe_dma_ns)
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "messages_tx": self.messages_tx,
+            "messages_rx": self.messages_rx,
+            "bytes_tx": self.bytes_tx,
+            "packets_tx": self.packets_tx,
+            "qp_cache_miss_ratio": self.qp_cache.stats.miss_ratio,
+            "pcie_reads": self.pcie.reads_issued,
+            "cqes": self.cqes_generated,
+        }

@@ -1,0 +1,6 @@
+"""Network substrate: nodes, switched fabric, packetization."""
+
+from .fabric import Fabric, Node, build_cluster
+from .packet import Reassembler, segment
+
+__all__ = ["Fabric", "Node", "Reassembler", "build_cluster", "segment"]

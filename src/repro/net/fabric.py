@@ -1,0 +1,108 @@
+"""Cluster nodes and the switched fabric connecting them.
+
+The topology mirrors the paper's testbed (§8.1): every node has one
+100 Gbps NIC, one hop through a single switch.  A message transfer is a
+process: source-NIC processing (state lookup, rate limit, wire
+serialization) → propagation → destination-NIC processing.  Packet loss
+can be injected; reliable transports (RC) absorb it as a hardware
+retransmission delay, unreliable ones surface it as a drop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Iterable
+
+from ..config import ClusterConfig, CpuConfig, NetConfig, NicConfig
+from ..hw import CpuMeter, HostMemory, Rnic
+from ..sim import Event, Simulator
+
+__all__ = ["Node", "Fabric", "build_cluster"]
+
+
+class Node:
+    """One machine: an RNIC, host memory, and metered CPU cores."""
+
+    def __init__(self, sim: Simulator, name: str, nic_cfg: NicConfig,
+                 cpu_cfg: CpuConfig, net_cfg: NetConfig):
+        self.sim = sim
+        self.name = name
+        self.rnic = Rnic(sim, nic_cfg, net_cfg, name=name + ".rnic")
+        self.memory = HostMemory()
+        self.cpu = CpuMeter(sim, cpu_cfg.cores, name=name + ".cpu")
+        self.cpu_cfg = cpu_cfg
+        self._next_qpn = 1
+
+    def alloc_qpn(self) -> int:
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        return qpn
+
+    def __repr__(self) -> str:
+        return "Node(%s)" % self.name
+
+
+class Fabric:
+    """The switch: moves messages between node NICs in virtual time."""
+
+    def __init__(self, sim: Simulator, cfg: NetConfig, seed: int = 0):
+        self.sim = sim
+        self.cfg = cfg
+        self.rng = random.Random(seed)
+        #: Probability an individual message transfer is "lost" on the wire.
+        self.loss_prob = 0.0
+        #: Extra latency charged when RC hardware retransmits a lost packet.
+        self.retransmit_ns = 12_000.0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    def transfer(
+        self,
+        src: Node,
+        dst: Node,
+        nbytes: int,
+        src_qpn: int,
+        dst_qpn: int,
+        *,
+        rkeys: Iterable[int] = (),
+        reliable: bool = True,
+        jitter_ns: float = 0.0,
+    ) -> Generator[Event, None, bool]:
+        """Move one message from ``src`` to ``dst``.
+
+        Returns True if delivered; False if dropped (unreliable transport
+        under injected loss).  Reliable transfers always deliver but pay a
+        retransmission delay per loss event.
+        """
+        yield from src.rnic.tx_process(nbytes, src_qpn, rkeys)
+        delay = self.cfg.propagation_ns + src.rnic.cfg.base_latency_ns
+        if jitter_ns > 0:
+            delay += self.rng.random() * jitter_ns
+        if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
+            if not reliable:
+                self.messages_dropped += 1
+                return False
+            # RNIC-level retransmission: invisible to software, costs time.
+            delay += self.retransmit_ns
+        yield self.sim.timeout(delay)
+        yield from dst.rnic.rx_process(nbytes, dst_qpn, rkeys)
+        self.messages_delivered += 1
+        return True
+
+    def transfer_async(self, *args, **kwargs):
+        """Spawn :meth:`transfer` as a background process; returns it."""
+        return self.sim.spawn(self.transfer(*args, **kwargs), name="xfer")
+
+
+def build_cluster(sim: Simulator, cfg: ClusterConfig):
+    """Create (servers, clients, fabric) per a :class:`ClusterConfig`."""
+    fabric = Fabric(sim, cfg.net, seed=cfg.seed)
+    servers = [
+        Node(sim, "server%d" % i, cfg.nic, cfg.cpu, cfg.net)
+        for i in range(cfg.n_servers)
+    ]
+    clients = [
+        Node(sim, "client%d" % i, cfg.nic, cfg.cpu, cfg.net)
+        for i in range(cfg.n_clients)
+    ]
+    return servers, clients, fabric

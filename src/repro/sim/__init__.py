@@ -1,0 +1,39 @@
+"""Discrete-event simulation kernel (events, processes, resources, RNG)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .rand import HotColdGenerator, Streams, ZipfGenerator, percentile, summarize_latencies
+from .resources import Resource, SpinLock, Store, TokenBucket
+from .trace import NullTracer, TimeSeries, Tracer, null_tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "HotColdGenerator",
+    "Interrupt",
+    "NullTracer",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "SpinLock",
+    "Store",
+    "Streams",
+    "TimeSeries",
+    "Timeout",
+    "TokenBucket",
+    "Tracer",
+    "ZipfGenerator",
+    "null_tracer",
+    "percentile",
+    "summarize_latencies",
+]

@@ -1,0 +1,143 @@
+"""Deterministic random streams for simulations.
+
+Every stochastic element (workload keys, service-time jitter, UD packet
+reordering) draws from its own named child stream derived from a single
+root seed, so adding a new consumer never perturbs existing ones and every
+experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import List, Sequence
+
+__all__ = ["Streams", "ZipfGenerator", "HotColdGenerator"]
+
+
+class Streams:
+    """A factory of independent, named random streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def stream(self, name: str) -> random.Random:
+        """A child RNG uniquely determined by (root seed, name)."""
+        child_seed = (self.seed << 32) ^ zlib.crc32(name.encode())
+        return random.Random(child_seed)
+
+
+class ZipfGenerator:
+    """Zipfian key sampler over ``[0, n)`` (YCSB-style).
+
+    Uses the Gray/Jim-Gray rejection-free method: precomputes the zeta
+    constants and samples in O(1) per draw.  ``theta`` near 0.99 gives the
+    familiar YCSB skew; theta=0 degenerates to uniform.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: random.Random = None):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random(0)
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta) if theta > 0 else 1.0
+        self._eta = (
+            (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+            if theta > 0
+            else 0.0
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n, integral approximation beyond a cutoff to keep
+        # construction cheap for the 32M-key HydraList experiments.
+        cutoff = min(n, 10000)
+        s = sum(1.0 / (i ** theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            if theta == 1.0:
+                s += math.log(n / cutoff)
+            else:
+                s += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) / (1 - theta)
+        return s
+
+    def next(self) -> int:
+        if self.theta == 0.0:
+            return self.rng.randrange(self.n)
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * ((self._eta * u - self._eta + 1) ** self._alpha))
+
+
+class HotColdGenerator:
+    """Hot/cold key sampler: ``hot_fraction`` of keys get ``hot_access``
+    of accesses.
+
+    Smallbank in the paper uses "4% of accounts are accessed by 90% of
+    transactions"; this generator reproduces exactly that law.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        hot_fraction: float = 0.04,
+        hot_access: float = 0.90,
+        rng: random.Random = None,
+    ):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if not 0 < hot_fraction <= 1:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0 <= hot_access <= 1:
+            raise ValueError("hot_access must be in [0, 1]")
+        self.n = n
+        self.n_hot = max(1, int(n * hot_fraction))
+        self.hot_access = hot_access
+        self.rng = rng or random.Random(0)
+
+    def next(self) -> int:
+        if self.rng.random() < self.hot_access:
+            return self.rng.randrange(self.n_hot)
+        if self.n_hot >= self.n:
+            return self.rng.randrange(self.n)
+        return self.rng.randrange(self.n_hot, self.n)
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an already sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("p must be in [0, 100]")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    # Numerically stable form: exact when the two anchors are equal.
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
+
+
+def summarize_latencies(samples: List[float]) -> dict:
+    """Median/p99/mean/min/max summary used by every harness."""
+    if not samples:
+        return {"count": 0, "median": 0.0, "p99": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    ordered = sorted(samples)
+    return {
+        "count": len(ordered),
+        "median": percentile(ordered, 50.0),
+        "p99": percentile(ordered, 99.0),
+        "mean": sum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+    }

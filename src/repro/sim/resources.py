@@ -1,0 +1,184 @@
+"""Shared-resource primitives for the DES kernel.
+
+These model contention: a CPU core, an RNIC processing unit, or a lock is a
+:class:`Resource`; a completion queue or a ring of incoming messages is a
+:class:`Store`.  All wait queues are strictly FIFO so simulations stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "SpinLock", "TokenBucket"]
+
+
+class Resource:
+    """A counted resource with FIFO waiters (a semaphore).
+
+    Usage from a process::
+
+        yield resource.acquire()
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Event that fires once a unit of the resource is held."""
+        ev = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; True on success."""
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release of idle resource")
+        if self._waiters:
+            # Hand the unit directly to the next waiter.
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class SpinLock(Resource):
+    """A mutex that also charges CPU time while waiting.
+
+    Models FaRM-style spinlock QP sharing: a thread spin-waiting on a lock
+    burns its core.  In the DES we do not model core stealing, so the
+    "burn" shows up as serialization, which is the effect that matters.
+    """
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)
+        self.contended_acquires = 0
+        self.total_acquires = 0
+
+    def acquire(self) -> Event:
+        self.total_acquires += 1
+        if self._in_use >= self.capacity:
+            self.contended_acquires += 1
+        return super().acquire()
+
+
+class Store:
+    """An unbounded (or bounded) FIFO channel of items between processes."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once the item is in the store."""
+        ev = Event(self.sim)
+        if self._getters:
+            # Direct hand-off to the longest-waiting getter.
+            self._getters.popleft().succeed(item)
+            ev.succeed()
+        elif self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; False if the store is full."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+            return True
+        if self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        return False
+
+    def get(self) -> Event:
+        """Event that fires with the next item."""
+        ev = Event(self.sim)
+        if self.items:
+            item = self.items.popleft()
+            if self._putters:
+                put_ev, put_item = self._putters.popleft()
+                self.items.append(put_item)
+                put_ev.succeed()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple:
+        """Non-blocking get; returns (ok, item)."""
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        if self._putters:
+            put_ev, put_item = self._putters.popleft()
+            self.items.append(put_item)
+            put_ev.succeed()
+        return True, item
+
+
+class TokenBucket:
+    """Rate limiter: ``rate`` tokens/ns with burst up to ``burst`` tokens.
+
+    Used to model hardware message-rate ceilings (e.g. an RNIC's packet
+    processing rate) without simulating every pipeline stage.
+    """
+
+    def __init__(self, sim: Simulator, rate_per_ns: float, burst: float = 1.0):
+        if rate_per_ns <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate_per_ns
+        self.burst = max(1.0, burst)
+        self._tokens = self.burst
+        self._last = 0.0
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def delay_for(self, tokens: float = 1.0) -> float:
+        """Consume ``tokens`` and return the ns to wait before proceeding."""
+        self._refill()
+        self._tokens -= tokens
+        if self._tokens >= 0:
+            return 0.0
+        return -self._tokens / self.rate

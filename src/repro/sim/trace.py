@@ -1,0 +1,186 @@
+"""Event tracing and time-series telemetry for simulations.
+
+Research artifacts live and die by their observability: every experiment
+in the harness can attach a :class:`Tracer` to record typed events
+(message sent, credits granted, QP deactivated, ...) and a
+:class:`TimeSeries` sampler to capture periodic gauges (active QPs,
+coalescing degree, CPU utilization).  Both export to plain dicts/CSV so
+results can be inspected or re-plotted outside the simulator.
+
+Tracing is strictly opt-in and zero-cost when disabled: the hot paths
+call ``tracer.emit(...)`` through a no-op stub unless a real tracer is
+installed.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import Counter, defaultdict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .core import Event, Simulator
+
+__all__ = ["Tracer", "NullTracer", "TimeSeries", "null_tracer"]
+
+
+class TraceEvent:
+    """One recorded occurrence."""
+
+    __slots__ = ("t", "kind", "fields")
+
+    def __init__(self, t: float, kind: str, fields: Dict[str, Any]):
+        self.t = t
+        self.kind = kind
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return "TraceEvent(t=%.1f, %s, %r)" % (self.t, self.kind, self.fields)
+
+
+class NullTracer:
+    """Does nothing, costs (almost) nothing — the default."""
+
+    enabled = False
+
+    def emit(self, kind: str, **fields) -> None:
+        """Discard the event."""
+
+    def count(self, kind: str) -> int:
+        """Nothing was recorded."""
+        return 0
+
+
+#: Shared stub for components constructed without a tracer.
+null_tracer = NullTracer()
+
+
+class Tracer:
+    """Records typed events in virtual time.
+
+    ``only`` restricts recording to a set of kinds; ``max_events`` guards
+    against runaway memory in long sweeps (oldest events are dropped and
+    counted).
+    """
+
+    enabled = True
+
+    def __init__(self, sim: Simulator, only: Optional[Iterable[str]] = None,
+                 max_events: int = 1_000_000):
+        self.sim = sim
+        self.only = frozenset(only) if only is not None else None
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._counts: Counter = Counter()
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event at the current virtual time."""
+        if self.only is not None and kind not in self.only:
+            return
+        self._counts[kind] += 1
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(self.sim.now, kind, fields))
+
+    # -- queries --------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return self._counts.get(kind, 0)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [ev for ev in self.events if ev.kind == kind]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [ev for ev in self.events if start <= ev.t < end]
+
+    def kinds(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    # -- export -----------------------------------------------------------
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        return [dict(t=ev.t, kind=ev.kind, **ev.fields) for ev in self.events]
+
+    def to_csv(self) -> str:
+        """All events as CSV text (columns = union of field names)."""
+        rows = self.to_rows()
+        if not rows:
+            return ""
+        columns: List[str] = ["t", "kind"]
+        seen = set(columns)
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    columns.append(key)
+        out = io.StringIO()
+        writer = csv.DictWriter(out, fieldnames=columns, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+        return out.getvalue()
+
+
+class TimeSeries:
+    """Periodic gauge sampler driven by a simulation process.
+
+    ``gauges`` maps a series name to a zero-argument callable returning
+    the current value; :meth:`start` spawns the sampling process.
+    """
+
+    def __init__(self, sim: Simulator, interval_ns: float):
+        if interval_ns <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.sim = sim
+        self.interval_ns = interval_ns
+        self.gauges: Dict[str, Callable[[], float]] = {}
+        self.samples: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self._started = False
+
+    def add_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge to sample every interval."""
+        self.gauges[name] = fn
+
+    def start(self) -> None:
+        """Spawn the sampling process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.spawn(self._sampler(), name="timeseries")
+
+    def _sampler(self):
+        while True:
+            yield self.sim.timeout(self.interval_ns)
+            now = self.sim.now
+            for name, fn in self.gauges.items():
+                self.samples[name].append((now, float(fn())))
+
+    # -- queries ----------------------------------------------------------
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        return list(self.samples.get(name, []))
+
+    def last(self, name: str) -> Optional[float]:
+        samples = self.samples.get(name)
+        return samples[-1][1] if samples else None
+
+    def mean(self, name: str) -> float:
+        samples = self.samples.get(name)
+        if not samples:
+            return 0.0
+        return sum(v for _t, v in samples) / len(samples)
+
+    def to_csv(self) -> str:
+        """Aligned samples as CSV (one column per gauge)."""
+        names = sorted(self.samples)
+        if not names:
+            return ""
+        times = sorted({t for name in names for t, _v in self.samples[name]})
+        by_name = {name: dict(self.samples[name]) for name in names}
+        out = io.StringIO()
+        writer = csv.writer(out)
+        writer.writerow(["t"] + names)
+        for t in times:
+            writer.writerow([t] + [by_name[name].get(t, "") for name in names])
+        return out.getvalue()

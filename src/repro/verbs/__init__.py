@@ -1,0 +1,20 @@
+"""RDMA verbs layer: queue pairs, completion queues, work requests."""
+
+from .cq import CompletionQueue
+from .qp import QueuePair, VerbError
+from .transport import Transport, Verb, capability_table, max_message_size, supports
+from .wr import Completion, WcStatus, WorkRequest
+
+__all__ = [
+    "Completion",
+    "CompletionQueue",
+    "QueuePair",
+    "Transport",
+    "Verb",
+    "VerbError",
+    "WcStatus",
+    "WorkRequest",
+    "capability_table",
+    "max_message_size",
+    "supports",
+]

@@ -1,0 +1,55 @@
+"""Completion queues.
+
+A CQ is a FIFO of :class:`Completion` entries DMA-ed by the RNIC.
+Software reaps entries either by busy polling (``poll``) — whose CPU cost
+the caller charges per the cost model — or by blocking on ``wait_pop``
+inside a DES process (which models a poller that sleeps until work
+arrives; the poll cost is still charged by the caller when an entry is
+reaped).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Event, Simulator, Store
+from .wr import Completion
+
+__all__ = ["CompletionQueue"]
+
+
+class CompletionQueue:
+    """FIFO of completions, optionally bounded like a real CQ."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "cq"):
+        self.sim = sim
+        self.name = name
+        self._store = Store(sim, capacity)
+        self.pushed = 0
+        self.overflowed = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def push(self, wc: Completion) -> None:
+        """RNIC side: append a completion (drops + counts on overflow)."""
+        if self._store.try_put(wc):
+            self.pushed += 1
+        else:
+            # A real overflowed CQ moves the QP to an error state; for the
+            # simulation, counting the overflow is enough for tests.
+            self.overflowed += 1
+
+    def poll(self, max_entries: int = 16) -> List[Completion]:
+        """Non-blocking reap of up to ``max_entries`` completions."""
+        out: List[Completion] = []
+        for _ in range(max_entries):
+            ok, wc = self._store.try_get()
+            if not ok:
+                break
+            out.append(wc)
+        return out
+
+    def wait_pop(self) -> Event:
+        """Event yielding the next completion (blocking poller)."""
+        return self._store.get()

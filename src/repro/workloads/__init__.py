@@ -1,0 +1,19 @@
+"""Workload generators: TATP, Smallbank, synthetic RPC mixes."""
+
+from .smallbank import ACCOUNTS_PER_THREAD, SmallbankWorkload
+from .synthetic import BimodalSize, FixedSize
+from .tatp import SUBSCRIBERS_PER_SERVER, TatpWorkload
+from .ycsb import INSERT, READ, UPDATE, YcsbWorkload
+
+__all__ = [
+    "ACCOUNTS_PER_THREAD",
+    "BimodalSize",
+    "FixedSize",
+    "INSERT",
+    "READ",
+    "SUBSCRIBERS_PER_SERVER",
+    "SmallbankWorkload",
+    "TatpWorkload",
+    "UPDATE",
+    "YcsbWorkload",
+]

@@ -1,0 +1,82 @@
+"""YCSB core workloads (extension beyond the paper's evaluation).
+
+The standard cloud-serving benchmark mixes, with the usual zipfian
+(θ=0.99) request distribution:
+
+======  =========================  ==============
+ mix     operations                 archetype
+======  =========================  ==============
+  A      50 % read / 50 % update    session store
+  B      95 % read /  5 % update    photo tagging
+  C      100 % read                 profile cache
+  D      95 % read /  5 % insert    status feed (latest-biased reads)
+======  =========================  ==============
+
+Used by ``benchmarks/test_ext_ycsb.py`` to compare FLock and eRPC on a
+plain remote key-value service — the workload most readers will reach
+for first even though the paper does not include it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Tuple
+
+from ..sim import ZipfGenerator
+
+__all__ = ["YcsbWorkload", "READ", "UPDATE", "INSERT"]
+
+READ = "read"
+UPDATE = "update"
+INSERT = "insert"
+
+_MIXES = {
+    "A": ((READ, 0.5), (UPDATE, 0.5)),
+    "B": ((READ, 0.95), (UPDATE, 0.05)),
+    "C": ((READ, 1.0),),
+    "D": ((READ, 0.95), (INSERT, 0.05)),
+}
+
+
+class YcsbWorkload:
+    """Generator of (operation, key) pairs for one YCSB core mix."""
+
+    def __init__(self, mix: str, n_keys: int, rng: random.Random,
+                 theta: float = 0.99):
+        mix = mix.upper()
+        if mix not in _MIXES:
+            raise ValueError("unknown YCSB mix %r (have A-D)" % mix)
+        if n_keys < 1:
+            raise ValueError("need at least one key")
+        self.mix = mix
+        self.rng = rng
+        self.n_keys = n_keys
+        self._inserted = 0
+        self.keygen = ZipfGenerator(n_keys, theta=theta, rng=rng)
+        self._ops, self._weights = zip(*_MIXES[mix])
+
+    def next_op(self) -> Tuple[str, int]:
+        r = self.rng.random()
+        acc = 0.0
+        op = self._ops[-1]
+        for candidate, weight in zip(self._ops, self._weights):
+            acc += weight
+            if r < acc:
+                op = candidate
+                break
+        if op == INSERT:
+            # Workload D: inserts append fresh keys; reads skew toward
+            # the most recent (latest distribution approximated by
+            # mirroring the zipf head onto the newest keys).
+            key = self.n_keys + self._inserted
+            self._inserted += 1
+            return op, key
+        key = self.keygen.next()
+        if self.mix == "D":
+            total = self.n_keys + self._inserted
+            key = total - 1 - (key % total)
+        return op, key
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        while True:
+            yield self.next_op()

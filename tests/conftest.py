@@ -1,0 +1,33 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.net import build_cluster
+from repro.sim import Simulator
+
+
+def run_gen(sim: Simulator, gen, until=None):
+    """Spawn a generator process, run the sim, return its value."""
+    proc = sim.spawn(gen)
+    if until is None:
+        sim.run()
+    else:
+        sim.run(until=until)
+    if not proc.processed:
+        raise AssertionError("process did not finish by t=%r" % sim.now)
+    return proc.value
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def small_cluster(sim):
+    """(sim, server node, client nodes, fabric) with 2 clients."""
+    servers, clients, fabric = build_cluster(sim, ClusterConfig(n_clients=2))
+    return sim, servers[0], clients, fabric

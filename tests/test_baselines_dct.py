@@ -1,0 +1,83 @@
+"""DCT baseline: dynamic connections and their switching penalty."""
+
+import pytest
+
+from repro.baselines import DctEndpoint, RcRpcServer
+from repro.config import ClusterConfig
+from repro.net import build_cluster
+from repro.sim import Simulator
+
+
+def make(n_servers=2):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(
+        sim, ClusterConfig(n_clients=1, n_servers=n_servers))
+    rc_servers = []
+    for node in servers:
+        server = RcRpcServer(sim, node, fabric, n_workers=2)
+        server.register_handler(1, lambda req: (64, ("ok", req.payload),
+                                                50.0))
+        rc_servers.append(server)
+    endpoint = DctEndpoint(sim, clients[0], fabric)
+    return sim, rc_servers, endpoint
+
+
+class TestDct:
+    def test_echo(self):
+        sim, servers, endpoint = make()
+        out = []
+
+        def app():
+            resp = yield from endpoint.call(0, servers[0], 1, 64, "x")
+            out.append(resp.payload)
+
+        sim.spawn(app())
+        sim.run(until=2_000_000)
+        assert out == [("ok", "x")]
+        assert endpoint.connects == 1
+
+    def test_same_target_connects_once(self):
+        sim, servers, endpoint = make()
+
+        def app():
+            for i in range(10):
+                yield from endpoint.call(0, servers[0], 1, 64, i)
+
+        sim.spawn(app())
+        sim.run(until=10_000_000)
+        assert endpoint.connects == 1
+        assert endpoint.switches == 0
+
+    def test_alternating_targets_reconnect_every_time(self):
+        sim, servers, endpoint = make()
+
+        def app():
+            for i in range(10):
+                yield from endpoint.call(i % 2, servers[i % 2], 1, 64, i)
+
+        sim.spawn(app())
+        sim.run(until=20_000_000)
+        assert endpoint.connects == 10
+        assert endpoint.switches == 9
+
+    def test_switching_costs_latency(self):
+        """The §10 claim: frequently switching remotes degrades DCT."""
+        def run(alternate):
+            sim, servers, endpoint = make()
+            times = []
+
+            def app():
+                for i in range(20):
+                    target = (i % 2) if alternate else 0
+                    started = sim.now
+                    yield from endpoint.call(target, servers[target], 1,
+                                             64, i)
+                    times.append(sim.now - started)
+
+            sim.spawn(app())
+            sim.run(until=50_000_000)
+            return sum(times) / len(times)
+
+        pinned = run(alternate=False)
+        alternating = run(alternate=True)
+        assert alternating > pinned + 1_500  # ~ the connect handshake

@@ -1,0 +1,94 @@
+"""ScaleRPC time-sharing baseline: group gating and its tail cost."""
+
+import pytest
+
+from repro.baselines import ScaleRpcClient, ScaleRpcServer
+from repro.config import ClusterConfig
+from repro.net import build_cluster
+from repro.sim import Simulator, percentile
+
+
+def make(n_groups=2, slice_ns=20_000.0, n_clients=2):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(
+        sim, ClusterConfig(n_clients=n_clients))
+    server = ScaleRpcServer(sim, servers[0], fabric, n_workers=4,
+                            n_groups=n_groups, slice_ns=slice_ns)
+    server.register_handler(1, lambda req: (64, None, 50.0))
+    return sim, server, clients, fabric
+
+
+class TestGroups:
+    def test_round_robin_group_assignment(self):
+        sim, server, clients, fabric = make(n_groups=3)
+        client = ScaleRpcClient(sim, clients[0], fabric)
+        groups = [client_handle.group for client_handle in
+                  (client.connect(server, n_qps=1) for _ in range(6))]
+        assert groups == [0, 1, 2, 0, 1, 2]
+
+    def test_rotation_advances(self):
+        sim, server, clients, fabric = make(n_groups=4, slice_ns=10_000.0)
+        sim.run(until=35_000)
+        assert server.current_group == 3
+        assert server.rotations == 3
+
+    def test_wait_for_current_group_is_immediate(self):
+        sim, server, clients, fabric = make()
+        ev = server.wait_for_group(0)
+        assert ev.triggered
+
+    def test_wait_for_other_group_blocks_until_slice(self):
+        sim, server, clients, fabric = make(n_groups=2, slice_ns=10_000.0)
+        ev = server.wait_for_group(1)
+        assert not ev.triggered
+        sim.run(until=10_001)
+        assert ev.processed
+
+    def test_bad_config(self):
+        sim, server, clients, fabric = make()
+        with pytest.raises(ValueError):
+            ScaleRpcServer(sim, clients[0], fabric, n_groups=0)
+        with pytest.raises(ValueError):
+            ScaleRpcServer(sim, clients[0], fabric, slice_ns=0)
+
+
+class TestEndToEnd:
+    def test_rpcs_complete_across_groups(self):
+        sim, server, clients, fabric = make(n_groups=2, slice_ns=15_000.0)
+        done = []
+        for idx, node in enumerate(clients):
+            client = ScaleRpcClient(sim, node, fabric)
+            handle = client.connect(server, n_qps=1)
+
+            def worker(client=client, handle=handle, idx=idx):
+                for i in range(10):
+                    response = yield from client.call(handle, 0, 1, 64,
+                                                      (idx, i))
+                    done.append(response.payload)
+
+            sim.spawn(worker())
+        sim.run(until=5_000_000)
+        assert len(done) == 20
+
+    def test_time_sharing_inflates_tail_latency(self):
+        """The §10 critique: waiting for your slice costs the tail."""
+        def run(n_groups):
+            sim, server, clients, fabric = make(n_groups=n_groups,
+                                                slice_ns=20_000.0)
+            latencies = []
+            client = ScaleRpcClient(sim, clients[0], fabric)
+            handle = client.connect(server, n_qps=1)
+
+            def worker():
+                for _ in range(60):
+                    started = sim.now
+                    yield from client.call(handle, 0, 1, 64)
+                    latencies.append(sim.now - started)
+
+            sim.spawn(worker())
+            sim.run(until=30_000_000)
+            return percentile(sorted(latencies), 99.0)
+
+        single_group = run(1)   # no gating: pure RC RPC
+        four_groups = run(4)    # 3 of 4 slices spent waiting
+        assert four_groups > 2 * single_group

@@ -1,0 +1,52 @@
+"""The command-line experiment runner."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_listed(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in ("fig2a", "fig2b", "fig6", "fig9", "fig10", "fig14",
+                     "fig16"):
+            assert name in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.outstanding == 1
+        assert args.clients == 23
+
+    def test_fig11_and_fig12_parsers(self):
+        args = build_parser().parse_args(["fig11", "--sizes", "512"])
+        assert args.sizes == [512]
+        args = build_parser().parse_args(["fig12", "--clients-list", "46"])
+        assert args.clients_list == [46]
+
+    def test_scale_flag_sets_env(self, monkeypatch, capsys):
+        import os
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        main(["--scale", "0.5", "list"])
+        assert os.environ["REPRO_BENCH_SCALE"] == "0.5"
+
+
+class TestSmallRuns:
+    def test_fig2a_prints_table(self, capsys, monkeypatch):
+        # Register the env key with monkeypatch so the --scale side
+        # effect is rolled back and cannot leak into later tests.
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        main(["--scale", "0.5", "fig2a", "--qps", "8", "--clients", "2"])
+        out = capsys.readouterr().out
+        assert "Fig 2(a)" in out and "Mops" in out
+
+    def test_fig6_prints_table(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        main(["--scale", "0.3", "fig6", "--threads", "2",
+              "--clients", "2"])
+        out = capsys.readouterr().out
+        assert "FLock" in out and "eRPC" in out

@@ -1,0 +1,51 @@
+"""The shipped examples: importable, documented, and the fast one runs."""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesShape:
+    def test_at_least_three_examples(self):
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_importable_with_main(self, path):
+        module = load(path)
+        assert hasattr(module, "main") and callable(module.main)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+    def test_has_module_docstring(self, path):
+        module = load(path)
+        assert module.__doc__ and len(module.__doc__) > 50
+
+
+class TestQuickstartRuns:
+    def test_quickstart_end_to_end(self, capsys):
+        module = load(EXAMPLES_DIR / "quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "completed 200 RPCs" in out
+        assert "coalescing degree" in out
+
+
+class TestSchedulingDemoRuns:
+    def test_scheduling_demo_end_to_end(self, capsys):
+        module = load(EXAMPLES_DIR / "scheduling_demo.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "redistributions" in out
+        assert "Algorithm 1" in out

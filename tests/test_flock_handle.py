@@ -1,0 +1,97 @@
+"""ConnectionHandle bookkeeping: assignments, pending, drain events."""
+
+import pytest
+
+from repro.config import ClusterConfig, FlockConfig
+from repro.flock import ConnectionHandle, FlockNode
+from repro.net import build_cluster
+from repro.sim import Simulator
+
+
+def make_handle(n_qps=4):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(sim, ClusterConfig(n_clients=1))
+    cfg = FlockConfig(qps_per_handle=n_qps)
+    server = FlockNode(sim, servers[0], fabric, cfg)
+    server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+    client = FlockNode(sim, clients[0], fabric, cfg, seed=1)
+    handle = client.fl_connect(server, n_qps=n_qps)
+    return sim, handle
+
+
+class TestAssignment:
+    def test_unmapped_threads_stripe_across_active(self):
+        sim, handle = make_handle(4)
+        qps = [handle.qp_for_thread(t).index for t in range(8)]
+        assert qps == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_assignment_is_sticky(self):
+        sim, handle = make_handle(4)
+        first = handle.qp_for_thread(5).index
+        assert handle.qp_for_thread(5).index == first
+
+    def test_apply_assignment_overrides(self):
+        sim, handle = make_handle(4)
+        handle.qp_for_thread(0)
+        handle.apply_assignment({0: 3})
+        assert handle.qp_for_thread(0).index == 3
+
+    def test_stale_assignment_to_inactive_qp_repaired(self):
+        sim, handle = make_handle(4)
+        handle.apply_assignment({0: 2})
+        handle.apply_active_set([0, 1], credit_batch=32)
+        assert handle.qp_for_thread(0).index in (0, 1)
+
+    def test_all_deactivated_falls_back_to_qp0(self):
+        sim, handle = make_handle(2)
+        stranded = handle.apply_active_set([], credit_batch=32)
+        assert stranded == []
+        channel = handle.qp_for_thread(0)
+        assert channel.index == 0
+        assert channel.active and channel.credits.active
+
+
+class TestPendingAccounting:
+    def test_register_and_complete(self):
+        sim, handle = make_handle(2)
+        ev = handle.register_pending(thread_id=1, seq_id=0, qp_index=0)
+        state = handle.thread(1)
+        assert state.outstanding_per_qp == {0: 1}
+        assert handle.complete_pending(1, 0, payload="resp")
+        assert state.outstanding_per_qp == {}
+        assert ev.triggered and ev.value == "resp"
+        assert handle.rpcs_completed == 1
+
+    def test_duplicate_completion_ignored(self):
+        sim, handle = make_handle(2)
+        handle.register_pending(1, 0, 0)
+        assert handle.complete_pending(1, 0, "a")
+        assert not handle.complete_pending(1, 0, "b")
+
+    def test_drain_event_fires_at_zero_outstanding(self):
+        sim, handle = make_handle(2)
+        state = handle.thread(3)
+        handle.register_pending(3, 0, 1)
+        handle.register_pending(3, 1, 1)
+        drain = sim.event()
+        state.drain_events[1] = drain
+        handle.complete_pending(3, 0, None)
+        assert not drain.triggered
+        handle.complete_pending(3, 1, None)
+        assert drain.triggered
+
+    def test_active_set_stranded_slots_returned(self):
+        from repro.flock import PendingSend, RpcRequest
+
+        sim, handle = make_handle(3)
+        slot = PendingSend(RpcRequest(thread_id=0, seq_id=0, rpc_id=1,
+                                      size=64), 0.0)
+        handle.channels[2].tcq.enqueue(slot)
+        stranded = handle.apply_active_set([0, 1], credit_batch=32)
+        assert stranded == [slot]
+        assert not handle.channels[2].active
+        assert not handle.channels[2].credits.active
+
+    def test_mean_degree_of_idle_handle(self):
+        sim, handle = make_handle(2)
+        assert handle.mean_coalescing_degree() == 1.0

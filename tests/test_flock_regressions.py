@@ -1,0 +1,163 @@
+"""Regression tests for scheduler pathologies found during calibration.
+
+Each of these corresponds to a real failure mode the full-scale
+benchmarks exposed: a bootstrap QP flood that thrashed the server NIC
+cache, senders misclassified as dormant before their first credit
+renewal, and thread-assignment churn that forced constant
+drain-and-migrate stalls.
+"""
+
+import random
+
+import pytest
+
+from repro.config import ClusterConfig, FlockConfig
+from repro.flock import FlockNode, assign_threads
+from repro.flock.thread_scheduler import ThreadStatSnapshot
+from repro.net import build_cluster
+from repro.sim import Simulator
+
+
+def snap(tid, median, requests, nbytes):
+    return ThreadStatSnapshot(thread_id=tid, median_size=median,
+                              requests=requests, bytes_sent=nbytes)
+
+
+class TestBootstrapRespectsMaxAqp:
+    def test_initial_active_sets_bounded(self):
+        """23 clients x 48 QPs must not start with 1104 active QPs —
+        the server's NIC cache would thrash before the first
+        redistribution (the Fig. 2a cliff at bootstrap)."""
+        sim = Simulator()
+        servers, clients, fabric = build_cluster(
+            sim, ClusterConfig(n_clients=23))
+        cfg = FlockConfig(max_aqp=256)
+        server = FlockNode(sim, servers[0], fabric, cfg)
+        handles = []
+        for i, node in enumerate(clients):
+            client = FlockNode(sim, node, fabric, cfg, seed=i)
+            handles.append(client.fl_connect(server, n_qps=48))
+        total_active = server.server.total_active_qps
+        # Later joiners get the shrinking average; the transient total
+        # stays in the same ballpark as MAX_AQP, far below 1104.
+        assert total_active < 2.5 * cfg.max_aqp
+        # The client sides agree with the server's choice.
+        for handle in handles:
+            shandle = server.server.clients[handle.client_id]
+            assert sorted(handle.active_indices) == sorted(shandle.active_set)
+
+    def test_single_client_gets_full_allocation(self):
+        sim = Simulator()
+        servers, clients, fabric = build_cluster(
+            sim, ClusterConfig(n_clients=1))
+        cfg = FlockConfig(max_aqp=256)
+        server = FlockNode(sim, servers[0], fabric, cfg)
+        client = FlockNode(sim, clients[0], fabric, cfg)
+        handle = client.fl_connect(server, n_qps=16)
+        assert len(handle.active_indices) == 16
+
+
+class TestDormancyNeedsSilence:
+    def test_active_sender_without_renewals_is_not_dormant(self):
+        """A sender still burning its bootstrap credits has U=0 from
+        renewals but is issuing requests — it must keep its QPs."""
+        sim = Simulator()
+        servers, clients, fabric = build_cluster(
+            sim, ClusterConfig(n_clients=1))
+        # Huge credit batch: no renewal will ever be sent.
+        cfg = FlockConfig(qps_per_handle=4, credit_batch=100_000,
+                          credit_renew_threshold=1,
+                          sched_interval_ns=100_000.0)
+        server = FlockNode(sim, servers[0], fabric, cfg)
+        server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+        client = FlockNode(sim, clients[0], fabric, cfg, seed=1)
+        handle = client.fl_connect(server, n_qps=4)
+
+        def worker(tid):
+            while True:
+                yield from client.fl_call(handle, tid, 1, 64)
+
+        for tid in range(4):
+            sim.spawn(worker(tid))
+        sim.run(until=600_000)
+        assert server.server.redistributions >= 3
+        assert server.server.renewals_handled == 0
+        # Still holding all four QPs despite zero renewals.
+        assert len(handle.active_indices) == 4
+
+    def test_truly_silent_sender_shrinks_to_one(self):
+        sim = Simulator()
+        servers, clients, fabric = build_cluster(
+            sim, ClusterConfig(n_clients=2))
+        cfg = FlockConfig(qps_per_handle=4, max_aqp=4,
+                          sched_interval_ns=100_000.0)
+        server = FlockNode(sim, servers[0], fabric, cfg)
+        server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+        busy = FlockNode(sim, clients[0], fabric, cfg, seed=1)
+        silent = FlockNode(sim, clients[1], fabric, cfg, seed=2)
+        busy_handle = busy.fl_connect(server, n_qps=4)
+        silent_handle = silent.fl_connect(server, n_qps=4)
+
+        def worker(tid):
+            while True:
+                yield from busy.fl_call(busy_handle, tid, 1, 64)
+
+        for tid in range(4):
+            sim.spawn(worker(tid))
+        sim.run(until=800_000)
+        silent_active = server.server.clients[silent_handle.client_id].active_set
+        assert len(silent_active) == 1
+
+
+class TestAssignmentStability:
+    def test_idle_thread_keeps_its_qp(self):
+        """A thread that sent nothing this interval stays put — random
+        reshuffling would force a pointless drain-and-migrate."""
+        current = {7: 3}
+        mapping = assign_threads([snap(7, 0, 0, 0)], active_qps=[1, 3],
+                                 rng=random.Random(0), current=current)
+        assert mapping[7] == 3
+
+    def test_idle_thread_on_dead_qp_reassigned(self):
+        current = {7: 9}  # QP 9 no longer active
+        mapping = assign_threads([snap(7, 0, 0, 0)], active_qps=[1, 3],
+                                 rng=random.Random(0), current=current)
+        assert mapping[7] in (1, 3)
+
+    def test_statistically_identical_intervals_identical_mapping(self):
+        """Sampling noise in request counts must not reshuffle threads:
+        counts within the same power-of-two bucket sort identically."""
+        first = [snap(t, 64, 100 + t % 3, 6400) for t in range(16)]
+        second = [snap(t, 64, 101 + (t + 1) % 3, 6400) for t in range(16)]
+        qps = [0, 1, 2, 3]
+        a = assign_threads(first, qps, rng=random.Random(0))
+        b = assign_threads(second, qps, rng=random.Random(0))
+        assert a == b
+
+    def test_churn_is_low_under_steady_load(self):
+        """End to end: after convergence, consecutive scheduler rounds
+        barely move threads."""
+        sim = Simulator()
+        servers, clients, fabric = build_cluster(
+            sim, ClusterConfig(n_clients=2))
+        cfg = FlockConfig(qps_per_handle=8,
+                          sched_interval_ns=100_000.0,
+                          thread_sched_interval_ns=100_000.0)
+        server = FlockNode(sim, servers[0], fabric, cfg)
+        server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+        client = FlockNode(sim, clients[0], fabric, cfg, seed=1)
+        handle = client.fl_connect(server, n_qps=8)
+
+        def worker(tid):
+            while True:
+                yield from client.fl_call(handle, tid, 1, 64)
+
+        for tid in range(16):
+            for _ in range(4):
+                sim.spawn(worker(tid))
+        sim.run(until=500_000)
+        before = dict(handle.thread_qp_map)
+        sim.run(until=1_000_000)
+        after = dict(handle.thread_qp_map)
+        moved = sum(1 for t in after if before.get(t) != after[t])
+        assert moved <= 4  # a quarter of the threads at most

@@ -1,0 +1,296 @@
+"""DES kernel: events, timeouts, processes, conditions, determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+from conftest import run_gen
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed("x")
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_fail_propagates_to_waiter(self, sim):
+        ev = sim.event()
+
+        def proc():
+            with pytest.raises(ValueError):
+                yield ev
+            return "handled"
+
+        p = sim.spawn(proc())
+        ev.fail(ValueError("boom"))
+        sim.run()
+        assert p.value == "handled"
+
+
+class TestTimeout:
+    def test_advances_clock(self, sim):
+        def proc():
+            yield sim.timeout(125)
+            return sim.now
+
+        assert run_gen(sim, proc()) == 125
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_timeout_value(self, sim):
+        def proc():
+            got = yield sim.timeout(5, value="tick")
+            return got
+
+        assert run_gen(sim, proc()) == "tick"
+
+    def test_zero_delay_fires_in_order(self, sim):
+        order = []
+
+        def proc(tag):
+            yield sim.timeout(0)
+            order.append(tag)
+
+        sim.spawn(proc("a"))
+        sim.spawn(proc("b"))
+        sim.run()
+        assert order == ["a", "b"]
+
+
+class TestProcess:
+    def test_return_value(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            return 7
+
+        assert run_gen(sim, proc()) == 7
+
+    def test_process_waits_on_process(self, sim):
+        def child():
+            yield sim.timeout(50)
+            return "child-done"
+
+        def parent():
+            result = yield sim.spawn(child())
+            return (result, sim.now)
+
+        assert run_gen(sim, parent()) == ("child-done", 50)
+
+    def test_non_generator_rejected(self, sim):
+        with pytest.raises(TypeError):
+            sim.spawn(42)
+
+    def test_bad_yield_rejected(self, sim):
+        def proc():
+            yield "not an event"
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_is_alive(self, sim):
+        def proc():
+            yield sim.timeout(10)
+
+        p = sim.spawn(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+    def test_exception_propagates_in_strict_mode(self, sim):
+        def proc():
+            yield sim.timeout(1)
+            raise RuntimeError("kaboom")
+
+        sim.spawn(proc())
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_exception_captured_when_not_strict(self):
+        sim = Simulator(strict=False)
+
+        def proc():
+            yield sim.timeout(1)
+            raise RuntimeError("kaboom")
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.triggered and not p.ok
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+                return "slept"
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, sim.now)
+
+        p = sim.spawn(sleeper())
+
+        def interrupter():
+            yield sim.timeout(10)
+            p.interrupt(cause="wake up")
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert p.value == ("interrupted", "wake up", 10)
+
+    def test_interrupt_finished_process_is_noop(self, sim):
+        def proc():
+            yield sim.timeout(1)
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.interrupt()  # must not raise
+
+    def test_unhandled_interrupt_cancels(self, sim):
+        def sleeper():
+            yield sim.timeout(1000)
+            return "never"
+
+        p = sim.spawn(sleeper())
+
+        def interrupter():
+            yield sim.timeout(5)
+            p.interrupt()
+
+        sim.spawn(interrupter())
+        sim.run()
+        assert p.processed and p.value is None
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, sim):
+        def proc():
+            fast = sim.timeout(10, value="fast")
+            slow = sim.timeout(100, value="slow")
+            result = yield sim.any_of([fast, slow])
+            return (sim.now, list(result.values()))
+
+        now, values = run_gen(sim, proc())
+        assert now == 10
+        assert values == ["fast"]
+
+    def test_all_of_waits_for_all(self, sim):
+        def proc():
+            a = sim.timeout(10, value="a")
+            b = sim.timeout(30, value="b")
+            result = yield sim.all_of([a, b])
+            return (sim.now, sorted(result.values()))
+
+        now, values = run_gen(sim, proc())
+        assert now == 30
+        assert values == ["a", "b"]
+
+    def test_empty_all_of_fires_immediately(self, sim):
+        def proc():
+            result = yield sim.all_of([])
+            return result
+
+        assert run_gen(sim, proc()) == {}
+
+
+class TestRun:
+    def test_run_until_advances_exactly(self, sim):
+        sim.spawn((sim.timeout(10) for _ in range(1)))
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_until_past_rejected(self, sim):
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.run(until=50)
+
+    def test_run_until_event_detects_deadlock(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            sim.run_until_event(ev)
+
+    def test_events_processed_counter(self, sim):
+        def proc():
+            for _ in range(5):
+                yield sim.timeout(1)
+
+        sim.spawn(proc())
+        sim.run()
+        assert sim.events_processed >= 5
+
+
+class TestDeterminism:
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_firing_order_is_time_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+
+        def proc(d):
+            yield sim.timeout(d)
+            fired.append((sim.now, d))
+
+        for d in delays:
+            sim.spawn(proc(d))
+        sim.run()
+        assert [d for _t, d in fired] == sorted(delays)
+        assert fired == sorted(fired, key=lambda x: x[0])
+
+    @given(st.integers(min_value=0, max_value=2 ** 31))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_runs_produce_identical_traces(self, seed):
+        import random
+
+        def trace(seed):
+            sim = Simulator()
+            rng = random.Random(seed)
+            out = []
+
+            def proc(tag):
+                for _ in range(5):
+                    yield sim.timeout(rng.randrange(100))
+                    out.append((tag, sim.now))
+
+            for tag in range(4):
+                sim.spawn(proc(tag))
+            sim.run()
+            return out
+
+        assert trace(seed) == trace(seed)

@@ -1,0 +1,136 @@
+"""Random streams, zipfian/hot-cold samplers, percentile math."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    HotColdGenerator,
+    Streams,
+    ZipfGenerator,
+    percentile,
+    summarize_latencies,
+)
+
+
+class TestStreams:
+    def test_same_name_same_sequence(self):
+        s = Streams(seed=42)
+        a = [s.stream("x").random() for _ in range(3)]
+        b = [s.stream("x").random() for _ in range(3)]
+        assert a == b
+
+    def test_different_names_differ(self):
+        s = Streams(seed=42)
+        assert s.stream("x").random() != s.stream("y").random()
+
+    def test_different_seeds_differ(self):
+        assert Streams(1).stream("x").random() != Streams(2).stream("x").random()
+
+
+class TestZipf:
+    def test_bounds(self):
+        gen = ZipfGenerator(1000, theta=0.99, rng=random.Random(1))
+        for _ in range(5000):
+            assert 0 <= gen.next() < 1000
+
+    def test_skew_favors_low_keys(self):
+        gen = ZipfGenerator(10000, theta=0.99, rng=random.Random(2))
+        samples = [gen.next() for _ in range(20000)]
+        top_100 = sum(1 for s in samples if s < 100)
+        # Zipf 0.99 puts a large share of mass on the head.
+        assert top_100 / len(samples) > 0.35
+
+    def test_theta_zero_is_uniform(self):
+        gen = ZipfGenerator(100, theta=0.0, rng=random.Random(3))
+        samples = [gen.next() for _ in range(20000)]
+        head = sum(1 for s in samples if s < 10)
+        assert 0.05 < head / len(samples) < 0.15
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, theta=1.5)
+
+    def test_large_n_constructs_fast(self):
+        gen = ZipfGenerator(32_000_000, theta=0.99, rng=random.Random(4))
+        assert 0 <= gen.next() < 32_000_000
+
+
+class TestHotCold:
+    def test_smallbank_law(self):
+        """4% of keys should get ~90% of accesses (paper §8.5.2)."""
+        gen = HotColdGenerator(10000, hot_fraction=0.04, hot_access=0.90,
+                               rng=random.Random(5))
+        n_hot = gen.n_hot
+        samples = [gen.next() for _ in range(30000)]
+        hot_share = sum(1 for s in samples if s < n_hot) / len(samples)
+        assert hot_share == pytest.approx(0.90, abs=0.02)
+
+    def test_bounds(self):
+        gen = HotColdGenerator(50, rng=random.Random(6))
+        for _ in range(2000):
+            assert 0 <= gen.next() < 50
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HotColdGenerator(0)
+        with pytest.raises(ValueError):
+            HotColdGenerator(10, hot_fraction=0.0)
+        with pytest.raises(ValueError):
+            HotColdGenerator(10, hot_access=1.5)
+
+
+class TestPercentile:
+    def test_simple_median(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 7, 9]
+        assert percentile(data, 0) == 5
+        assert percentile(data, 100) == 9
+
+    def test_single_element(self):
+        assert percentile([3.5], 99) == 3.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=200),
+           st.floats(min_value=0, max_value=100))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_within_range(self, values, p):
+        ordered = sorted(values)
+        result = percentile(ordered, p)
+        assert ordered[0] <= result <= ordered[-1]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_percentile_monotone_in_p(self, values):
+        ordered = sorted(values)
+        assert percentile(ordered, 50) <= percentile(ordered, 99)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary["count"] == 0 and summary["median"] == 0.0
+
+    def test_basic(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert summary["count"] == 4
+        assert summary["median"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0 and summary["max"] == 4.0
+        assert summary["mean"] == pytest.approx(2.5)

@@ -1,0 +1,221 @@
+"""Resources, stores, spinlocks, token buckets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Resource, SimulationError, Simulator, SpinLock, Store, TokenBucket
+
+from conftest import run_gen
+
+
+class TestResource:
+    def test_immediate_acquire_under_capacity(self, sim):
+        res = Resource(sim, capacity=2)
+        assert res.acquire().triggered
+        assert res.acquire().triggered
+        assert res.in_use == 2
+
+    def test_waiters_fifo(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def proc(tag, hold):
+            yield res.acquire()
+            order.append(tag)
+            yield sim.timeout(hold)
+            res.release()
+
+        sim.spawn(proc("a", 10))
+        sim.spawn(proc("b", 10))
+        sim.spawn(proc("c", 10))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_release_idle_rejected(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_try_acquire(self, sim):
+        res = Resource(sim, capacity=1)
+        assert res.try_acquire()
+        assert not res.try_acquire()
+        res.release()
+        assert res.try_acquire()
+
+    def test_bad_capacity(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    @given(st.integers(min_value=1, max_value=5),
+           st.lists(st.integers(min_value=1, max_value=20),
+                    min_size=1, max_size=25))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_capacity(self, capacity, hold_times):
+        sim = Simulator()
+        res = Resource(sim, capacity=capacity)
+        max_seen = [0]
+
+        def proc(hold):
+            yield res.acquire()
+            max_seen[0] = max(max_seen[0], res.in_use)
+            yield sim.timeout(hold)
+            res.release()
+
+        for hold in hold_times:
+            sim.spawn(proc(hold))
+        sim.run()
+        assert max_seen[0] <= capacity
+        assert res.in_use == 0
+
+
+class TestSpinLock:
+    def test_counts_contended_acquires(self, sim):
+        lock = SpinLock(sim)
+
+        def proc():
+            yield lock.acquire()
+            yield sim.timeout(10)
+            lock.release()
+
+        for _ in range(4):
+            sim.spawn(proc())
+        sim.run()
+        assert lock.total_acquires == 4
+        assert lock.contended_acquires == 3
+
+
+class TestStore:
+    def test_put_get_fifo(self, sim):
+        store = Store(sim)
+
+        def producer():
+            for i in range(5):
+                yield store.put(i)
+
+        def consumer():
+            out = []
+            for _ in range(5):
+                item = yield store.get()
+                out.append(item)
+            return out
+
+        sim.spawn(producer())
+        assert run_gen(sim, consumer()) == [0, 1, 2, 3, 4]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return (item, sim.now)
+
+        def producer():
+            yield sim.timeout(42)
+            store.try_put("late")
+
+        sim.spawn(producer())
+        assert run_gen(sim, consumer()) == ("late", 42)
+
+    def test_capacity_blocks_putter(self, sim):
+        store = Store(sim, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            times.append(sim.now)
+            yield store.put("b")
+            times.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(30)
+            ok, item = store.try_get()
+            assert ok and item == "a"
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert times[0] == 0
+        assert times[1] == 30  # blocked until the consumer drained
+
+    def test_try_put_respects_capacity(self, sim):
+        store = Store(sim, capacity=2)
+        assert store.try_put(1)
+        assert store.try_put(2)
+        assert not store.try_put(3)
+
+    def test_try_get_empty(self, sim):
+        store = Store(sim)
+        ok, item = store.try_get()
+        assert not ok and item is None
+
+    def test_direct_handoff_to_waiter(self, sim):
+        store = Store(sim)
+
+        def consumer():
+            item = yield store.get()
+            return item
+
+        p = sim.spawn(consumer())
+        sim.run()  # consumer parks
+        store.try_put("direct")
+        sim.run()
+        assert p.value == "direct"
+
+    @given(st.lists(st.integers(), min_size=1, max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_property(self, items):
+        sim = Simulator()
+        store = Store(sim)
+        for item in items:
+            store.try_put(item)
+        out = []
+
+        def consumer():
+            for _ in items:
+                got = yield store.get()
+                out.append(got)
+
+        sim.spawn(consumer())
+        sim.run()
+        assert out == items
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limited(self, sim):
+        bucket = TokenBucket(sim, rate_per_ns=0.001, burst=2)  # 1 per µs
+        assert bucket.delay_for() == 0
+        assert bucket.delay_for() == 0
+        delay = bucket.delay_for()
+        assert delay == pytest.approx(1000.0)
+
+    def test_refills_over_time(self, sim):
+        bucket = TokenBucket(sim, rate_per_ns=0.01, burst=1)
+        assert bucket.delay_for() == 0
+
+        def proc():
+            yield sim.timeout(100)  # exactly one token refilled
+            return bucket.delay_for()
+
+        assert run_gen(sim, proc()) == pytest.approx(0.0)
+
+    def test_sustained_rate(self, sim):
+        rate = 0.005  # 5 ops/µs
+        bucket = TokenBucket(sim, rate_per_ns=rate, burst=1)
+        done = [0]
+
+        def proc():
+            for _ in range(100):
+                delay = bucket.delay_for()
+                if delay:
+                    yield sim.timeout(delay)
+                done[0] += 1
+
+        sim.spawn(proc())
+        sim.run()
+        # 100 ops at 5 ops/µs should take ~20 µs of virtual time.
+        assert sim.now == pytest.approx(100 / 0.005, rel=0.05)
+
+    def test_rejects_bad_rate(self, sim):
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate_per_ns=0)

@@ -1,0 +1,150 @@
+"""Tracing and telemetry."""
+
+import pytest
+
+from repro.config import ClusterConfig, FlockConfig
+from repro.flock import FlockNode
+from repro.net import build_cluster
+from repro.sim import NullTracer, Simulator, TimeSeries, Tracer, null_tracer
+
+
+class TestTracer:
+    def test_records_events_with_time(self, sim):
+        tracer = Tracer(sim)
+
+        def proc():
+            yield sim.timeout(100)
+            tracer.emit("tick", value=1)
+            yield sim.timeout(100)
+            tracer.emit("tick", value=2)
+            tracer.emit("other")
+
+        sim.spawn(proc())
+        sim.run()
+        assert tracer.count("tick") == 2
+        assert tracer.count("other") == 1
+        ticks = tracer.of_kind("tick")
+        assert [ev.t for ev in ticks] == [100, 200]
+        assert ticks[1].fields["value"] == 2
+
+    def test_only_filter(self, sim):
+        tracer = Tracer(sim, only={"keep"})
+        tracer.emit("keep")
+        tracer.emit("drop")
+        assert tracer.count("keep") == 1
+        assert tracer.count("drop") == 0
+        assert len(tracer.events) == 1
+
+    def test_max_events_bound(self, sim):
+        tracer = Tracer(sim, max_events=2)
+        for i in range(5):
+            tracer.emit("e", i=i)
+        assert len(tracer.events) == 2
+        assert tracer.dropped == 3
+        assert tracer.count("e") == 5  # counts keep going
+
+    def test_between(self, sim):
+        tracer = Tracer(sim)
+
+        def proc():
+            for _ in range(5):
+                yield sim.timeout(100)
+                tracer.emit("x")
+
+        sim.spawn(proc())
+        sim.run()
+        assert len(tracer.between(150, 350)) == 2
+
+    def test_csv_export(self, sim):
+        tracer = Tracer(sim)
+        tracer.emit("a", value=1)
+        tracer.emit("b", size=2)
+        csv_text = tracer.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "t,kind,value,size"
+        assert len(lines) == 3
+
+    def test_empty_csv(self, sim):
+        assert Tracer(sim).to_csv() == ""
+
+    def test_null_tracer_is_silent(self):
+        null_tracer.emit("anything", x=1)
+        assert null_tracer.count("anything") == 0
+        assert not NullTracer.enabled
+
+
+class TestTimeSeries:
+    def test_samples_gauges(self, sim):
+        series = TimeSeries(sim, interval_ns=100)
+        value = [0]
+        series.add_gauge("v", lambda: value[0])
+
+        def proc():
+            for i in range(5):
+                value[0] = i
+                yield sim.timeout(100)
+
+        series.start()
+        sim.spawn(proc())
+        sim.run(until=450)
+        samples = series.series("v")
+        assert len(samples) == 4
+        assert series.last("v") == 3.0
+        # The sampler fires before the same-instant update (FIFO ties).
+        assert [v for _t, v in samples] == [0.0, 1.0, 2.0, 3.0]
+        assert series.mean("v") == pytest.approx(1.5)
+
+    def test_csv(self, sim):
+        series = TimeSeries(sim, interval_ns=50)
+        series.add_gauge("a", lambda: 1)
+        series.add_gauge("b", lambda: 2)
+        series.start()
+        sim.run(until=120)
+        csv_text = series.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "t,a,b"
+        assert len(lines) == 3
+
+    def test_bad_interval(self, sim):
+        with pytest.raises(ValueError):
+            TimeSeries(sim, interval_ns=0)
+
+    def test_start_idempotent(self, sim):
+        series = TimeSeries(sim, interval_ns=100)
+        series.add_gauge("x", lambda: 1)
+        series.start()
+        series.start()
+        sim.run(until=250)
+        assert len(series.series("x")) == 2  # not doubled
+
+
+class TestFlockIntegration:
+    def test_tracer_sees_coalescing_and_scheduling(self):
+        sim = Simulator()
+        servers, clients, fabric = build_cluster(sim,
+                                                 ClusterConfig(n_clients=1))
+        cfg = FlockConfig(qps_per_handle=2, sched_interval_ns=150_000.0,
+                          thread_sched_interval_ns=150_000.0)
+        server = FlockNode(sim, servers[0], fabric, cfg)
+        server.fl_reg_handler(1, lambda req: (64, None, 100.0))
+        client = FlockNode(sim, clients[0], fabric, cfg, seed=1)
+        tracer = Tracer(sim)
+        client.client.tracer = tracer
+        server.server.tracer = tracer
+        handle = client.fl_connect(server, n_qps=2)
+
+        def worker(tid):
+            for _ in range(20):
+                yield from client.fl_call(handle, tid, 1, 64)
+
+        for tid in range(8):
+            sim.spawn(worker(tid))
+        sim.run(until=3_000_000)
+        messages = tracer.of_kind("coalesced_message")
+        assert messages
+        total_reqs = sum(ev.fields["degree"] for ev in messages)
+        assert total_reqs == 160
+        # Byte sizes match the message-layout formula.
+        from repro.flock import coalesced_size
+        for ev in messages[:10]:
+            assert ev.fields["bytes"] >= coalesced_size([64])

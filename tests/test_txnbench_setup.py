@@ -1,0 +1,79 @@
+"""Transaction-bench topology: partitioning, replication, regions."""
+
+import pytest
+
+from repro.apps.kvstore import partition_of, replicas_of
+from repro.config import ClusterConfig
+from repro.harness.txnbench import TxnBenchConfig, build_txn_servers
+from repro.net import build_cluster
+from repro.sim import Simulator
+
+
+def build(n_keys_per_server=200):
+    sim = Simulator()
+    servers, clients, fabric = build_cluster(
+        sim, ClusterConfig(n_clients=1, n_servers=3))
+    cfg = TxnBenchConfig(n_servers=3,
+                         subscribers_per_server=n_keys_per_server)
+    return cfg, build_txn_servers(cfg, servers), servers
+
+
+class TestTopology:
+    def test_each_server_is_primary_for_its_partition(self):
+        cfg, txn_servers, _hw = build()
+        for s, server in enumerate(txn_servers):
+            assert server.server_id == s
+            assert server.primary.partition_id == s
+
+    def test_three_way_replication(self):
+        cfg, txn_servers, _hw = build()
+        for p in range(3):
+            holders = [s for s in range(3)
+                       if p in txn_servers[s].replicas]
+            assert sorted(holders) == sorted(replicas_of(p, 3))
+
+    def test_population_covers_every_key_on_every_copy(self):
+        cfg, txn_servers, _hw = build()
+        for key in range(cfg.n_keys()):
+            p = partition_of(key, 3)
+            for s in replicas_of(p, 3):
+                entry = txn_servers[s].replicas[p].get(key)
+                assert entry is not None
+                assert entry.version == 1
+
+    def test_only_primaries_publish_version_words(self):
+        cfg, txn_servers, _hw = build()
+        for s, server in enumerate(txn_servers):
+            assert server.primary.region is not None
+            for p, copy in server.replicas.items():
+                if p != s:
+                    assert copy.region is None
+
+    def test_version_region_sized_for_population(self):
+        cfg, txn_servers, _hw = build()
+        primary = txn_servers[0].primary
+        # Publishing every key must fit the registered region.
+        keys = [k for k in range(cfg.n_keys())
+                if partition_of(k, 3) == 0]
+        for key in keys:
+            addr = primary.addr_of(key)
+            assert primary.region.contains(addr, 8)
+
+
+class TestConfigHelpers:
+    def test_n_keys_tatp(self):
+        cfg = TxnBenchConfig(workload="tatp", n_servers=3,
+                             subscribers_per_server=100)
+        assert cfg.n_keys() == 300
+
+    def test_n_keys_smallbank_two_rows_per_account(self):
+        cfg = TxnBenchConfig(workload="smallbank", threads_per_client=4,
+                             accounts_per_thread=50)
+        assert cfg.n_keys() == 2 * 200
+
+    def test_make_workload_types(self):
+        import random
+        cfg = TxnBenchConfig(workload="tatp", subscribers_per_server=10)
+        wl = cfg.make_workload(random.Random(1))
+        txn = wl.next_txn()
+        assert txn.reads or txn.writes

@@ -1,0 +1,74 @@
+"""YCSB workload generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads import INSERT, READ, UPDATE, YcsbWorkload
+
+
+class TestMixes:
+    def mix_counts(self, mix, n=20000):
+        wl = YcsbWorkload(mix, 1000, random.Random(1))
+        return Counter(op for op, _k in (wl.next_op() for _ in range(n)))
+
+    def test_a_is_50_50(self):
+        counts = self.mix_counts("A")
+        total = sum(counts.values())
+        assert counts[READ] / total == pytest.approx(0.5, abs=0.02)
+        assert counts[UPDATE] / total == pytest.approx(0.5, abs=0.02)
+
+    def test_b_is_95_5(self):
+        counts = self.mix_counts("B")
+        total = sum(counts.values())
+        assert counts[READ] / total == pytest.approx(0.95, abs=0.01)
+
+    def test_c_is_read_only(self):
+        counts = self.mix_counts("C")
+        assert set(counts) == {READ}
+
+    def test_d_inserts_fresh_keys(self):
+        wl = YcsbWorkload("D", 100, random.Random(2))
+        inserted = [key for op, key in (wl.next_op() for _ in range(2000))
+                    if op == INSERT]
+        assert inserted == sorted(inserted)
+        assert all(key >= 100 for key in inserted)
+        assert len(set(inserted)) == len(inserted)
+
+    def test_lowercase_mix_accepted(self):
+        assert YcsbWorkload("a", 10, random.Random(0)).mix == "A"
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload("Z", 10, random.Random(0))
+        with pytest.raises(ValueError):
+            YcsbWorkload("A", 0, random.Random(0))
+
+
+class TestDistribution:
+    def test_zipf_head_dominates(self):
+        wl = YcsbWorkload("C", 10_000, random.Random(3))
+        keys = [key for _op, key in (wl.next_op() for _ in range(20000))]
+        head = sum(1 for key in keys if key < 100)
+        assert head / len(keys) > 0.3
+
+    def test_keys_in_range(self):
+        wl = YcsbWorkload("B", 500, random.Random(4))
+        for _ in range(5000):
+            op, key = wl.next_op()
+            if op != INSERT:
+                assert 0 <= key < 500
+
+    def test_workload_d_reads_skew_recent(self):
+        wl = YcsbWorkload("D", 1000, random.Random(5))
+        reads = [key for op, key in (wl.next_op() for _ in range(20000))
+                 if op == READ]
+        recent = sum(1 for key in reads if key > 800)
+        assert recent / len(reads) > 0.3
+
+    def test_iterable(self):
+        wl = YcsbWorkload("A", 100, random.Random(6))
+        it = iter(wl)
+        op, key = next(it)
+        assert op in (READ, UPDATE)
