@@ -51,6 +51,9 @@ class RpcRequest:
     #: Virtual timestamp the requesting thread created the request
     #: (latency measurement anchor).
     created_ns: float = 0.0
+    #: Optional :class:`repro.obs.Span` following this RPC through every
+    #: layer (client queue → NIC → wire → server → response).
+    span: Any = None
 
     def __post_init__(self):
         if self.size < 0:
@@ -67,6 +70,10 @@ class RpcResponse:
     rpc_id: int
     size: int
     payload: Any = None
+    #: The originating request's span (response-leg phase attribution).
+    span: Any = None
+    #: Virtual time the server posted this response (set on flush).
+    posted_ns: float = 0.0
 
     def __post_init__(self):
         if self.size < 0:
@@ -86,6 +93,11 @@ class CoalescedMessage:
     piggyback_credits: int = 0
     #: Monotone message id per QP direction, for ring accounting.
     msg_id: int = 0
+    #: Optional message-level :class:`repro.obs.Span` (doorbell → wire →
+    #: remote ring); member RPC spans adopt its hardware phases.
+    span: Any = None
+    #: Virtual time the message landed in the receiver's ring.
+    arrived_ns: float = 0.0
 
     @property
     def n_entries(self) -> int:

@@ -148,6 +148,20 @@ class FlockServer:
         self.manual_inbox: Store = Store(sim)
         #: Attach a :class:`repro.sim.Tracer` to record scheduler events.
         self.tracer = null_tracer
+        # Typed instruments (no-op unless telemetry installed on sim).
+        metrics = sim.metrics
+        self._m_requests = metrics.counter("flock.server.requests")
+        self._m_messages = metrics.counter("flock.server.messages")
+        self._m_renewals = metrics.counter("flock.server.renewals")
+        self._m_grants_piggybacked = metrics.counter("flock.grants.piggybacked")
+        self._m_grants_dedicated = metrics.counter("flock.grants.dedicated")
+        self._m_grants_declined = metrics.counter("flock.grants.declined")
+        self._m_redistributions = metrics.counter("flock.redistributions")
+        self._m_resp_degree = metrics.histogram("flock.response_degree")
+        if metrics.enabled:
+            metrics.gauge("flock.active_qps",
+                          fn=lambda: self.total_active_qps,
+                          server=node.name)
         #: Optional :class:`repro.flock.tenancy.TenantManager` — when set,
         #: the QP budget is split hierarchically across tenants first
         #: (the §9 multi-application extension).
@@ -202,6 +216,7 @@ class FlockServer:
         inbox = self._inboxes[worker]
 
         def on_message(msg, _shandle=shandle, _schannel=schannel, _inbox=inbox):
+            msg.arrived_ns = self.sim.now
             _schannel.queued_msgs += 1
             _inbox.try_put((_shandle, _schannel, msg))
 
@@ -222,11 +237,13 @@ class FlockServer:
         cpu = self.cpu
         while True:
             shandle, schannel, msg = yield inbox.get()
+            t_pop = self.sim.now
             schannel.messages_received += 1
             schannel.queued_msgs -= 1
             schannel.processing = True
             shandle.requests_in_interval += len(msg.entries)
             self.messages_handled += 1
+            self._m_messages.inc()
             schannel.request_ring.consume(msg.total_bytes)
             n = len(msg.entries)
             # Network-stack CPU: detect the message (ring poll amortized
@@ -238,6 +255,15 @@ class FlockServer:
             responses: List[RpcResponse] = []
             app_ns = 0.0
             for request in msg.entries:
+                span = request.span
+                if span is not None:
+                    # Fold the shared hardware phases of the coalesced
+                    # message into this RPC's own trace, then record the
+                    # time it waited between ring landing and worker pop.
+                    if msg.span is not None:
+                        span.adopt(msg.span)
+                    span.add_phase("server_queue", msg.arrived_ns, t_pop)
+                    span.open("server_handler", t_pop)
                 if self.handlers.get(request.rpc_id) is MANUAL_HANDLER:
                     self.manual_inbox.try_put((shandle, schannel, request))
                     continue
@@ -246,10 +272,16 @@ class FlockServer:
                 responses.append(RpcResponse(
                     thread_id=request.thread_id, seq_id=request.seq_id,
                     rpc_id=request.rpc_id, size=size, payload=payload,
+                    span=span,
                 ))
                 self.requests_handled += 1
+                self._m_requests.inc()
             if app_ns > 0:
                 yield core.charge(app_ns, "app")
+            t_handled = self.sim.now
+            for response in responses:
+                if response.span is not None:
+                    response.span.close("server_handler", t_handled)
             schannel.response_accum.extend(responses)
             # §4.3: the server coalesces responses too.  While more
             # request messages for this QP are already queued, keep
@@ -274,6 +306,12 @@ class FlockServer:
             rmsg.piggyback_credits = schannel.pending_grant
             schannel.pending_grant = 0
         yield core.charge(self.cpu.header_build_ns + self.cpu.mmio_ns, "net-send")
+        self._m_resp_degree.observe(len(responses))
+        for response in responses:
+            response.posted_ns = self.sim.now
+            if response.span is not None:
+                # The response leg: server post → client-side completion.
+                response.span.open("response", self.sim.now)
         schannel.posted_writes += 1
         signaled = schannel.posted_writes % max(1, self.cfg.signal_every) == 0
         schannel.server_qp.post_send(WorkRequest(
@@ -294,6 +332,7 @@ class FlockServer:
                 continue
             yield core.charge(self.cpu.cq_poll_ns + 60.0, "net-sched")
             self.renewals_handled += 1
+            self._m_renewals.inc()
             shandle = self.clients.get(request.client_id)
             if shandle is None:
                 continue
@@ -308,6 +347,7 @@ class FlockServer:
                     self.tracer.emit("grant_piggybacked",
                                      client=request.client_id,
                                      qp=request.qp_index)
+                    self._m_grants_piggybacked.inc()
                     schannel.pending_grant += self.cfg.credit_batch
                     self.sim.spawn(
                         self._grant_watchdog(shandle, schannel),
@@ -319,6 +359,7 @@ class FlockServer:
                     self.tracer.emit("grant_dedicated",
                                      client=request.client_id,
                                      qp=request.qp_index)
+                    self._m_grants_dedicated.inc()
                     yield from self._send_control(
                         schannel,
                         CreditGrant(qp_index=schannel.index,
@@ -329,6 +370,7 @@ class FlockServer:
                 # Declined: deactivates the QP at the sender (§5.1).
                 self.tracer.emit("credit_declined", client=request.client_id,
                                  qp=request.qp_index)
+                self._m_grants_declined.inc()
                 yield from self._send_control(
                     schannel, CreditGrant(qp_index=schannel.index, credits=0),
                     GRANT_BYTES,
@@ -385,6 +427,7 @@ class FlockServer:
             alloc = compute_allocation(per_client, self.cfg.max_aqp,
                                        qps_per_client)
         self.redistributions += 1
+        self._m_redistributions.inc()
         for cid, shandle in self.clients.items():
             budget = alloc.get(cid, 1)
             if budget >= len(shandle.channels):
@@ -437,6 +480,15 @@ class FlockClient:
         self.handles: List[ConnectionHandle] = []
         #: Attach a :class:`repro.sim.Tracer` to record send-path events.
         self.tracer = null_tracer
+        # Typed instruments (no-op unless telemetry installed on sim).
+        metrics = sim.metrics
+        self._m_rpcs = metrics.counter("flock.client.rpcs")
+        self._m_messages = metrics.counter("flock.client.messages")
+        self._m_degree = metrics.histogram("flock.coalescing_degree")
+        self._m_msg_bytes = metrics.histogram("flock.message_bytes")
+        self._m_migrations = metrics.counter("flock.migrations")
+        self._m_stranded = metrics.counter("flock.stranded_slots")
+        self._m_renewals_sent = metrics.counter("flock.renewals_sent")
         self._dispatch_inbox: Store = Store(sim)
         #: Coalescing can be disabled for the Fig. 10 ablation.
         self.coalescing_enabled = True
@@ -536,6 +588,14 @@ class FlockClient:
             request = RpcRequest(thread_id=thread_id, seq_id=seq,
                                  rpc_id=rpc_id, size=size, payload=payload,
                                  created_ns=self.sim.now)
+            self._m_rpcs.inc()
+            if self.sim.spans.enabled:
+                request.span = self.sim.spans.begin(
+                    "rpc", track="%s/t%d" % (self.node.name, thread_id),
+                    t=self.sim.now, rpc_id=rpc_id, size=size)
+                # Time between submission and the leader collecting the
+                # request into a coalesced message.
+                request.span.open("client_queue", self.sim.now)
             response_ev = handle.register_pending(thread_id, seq, channel.index)
             state.stats.record(size)
             # Marshalling + copying into the combining buffer happens on
@@ -607,6 +667,7 @@ class FlockClient:
             # and doorbell, concurrent followers copy their payloads into
             # the message (§4.2) — so the batch is taken AFTER the window,
             # including any arrivals during it.
+            window_t0 = self.sim.now
             yield self.sim.timeout(self.cpu.header_build_ns
                                    + self.cpu.mmio_ns)
             limit = tcq.max_combine if self.coalescing_enabled else 1
@@ -634,12 +695,13 @@ class FlockClient:
                 continue
             for slot in batch:
                 slot.copied = True
-            yield from self._post_batch(handle, channel, batch)
+            yield from self._post_batch(handle, channel, batch, window_t0)
             if not tcq.handoff():
                 return
 
     def _post_batch(self, handle: ConnectionHandle, channel,
-                    batch: List[PendingSend]) -> Generator[Event, None, None]:
+                    batch: List[PendingSend],
+                    window_t0: Optional[float] = None) -> Generator[Event, None, None]:
         rpc_slots = [s for s in batch if isinstance(s.request, RpcRequest)]
         mem_slots = [s for s in batch if isinstance(s.request, MemOp)]
         # The header/doorbell window was charged before collection; what
@@ -651,12 +713,28 @@ class FlockClient:
             assert consumed, "leader batched more RPCs than credits"
             msg = CoalescedMessage(entries=[s.request for s in rpc_slots])
             msg.msg_id = channel.sender_view.allocate(msg.total_bytes)
+            self._m_messages.inc()
+            self._m_degree.observe(len(rpc_slots))
+            self._m_msg_bytes.observe(msg.total_bytes)
+            t_post = self.sim.now
+            if self.sim.spans.enabled:
+                # One hardware-facing span per coalesced message; member
+                # RPC spans adopt its phases at the server.
+                doorbell_t0 = window_t0 if window_t0 is not None else t_post
+                msg.span = self.sim.spans.begin(
+                    "flock.msg", track="hw:%s" % self.node.name,
+                    t=doorbell_t0, qp=channel.index,
+                    degree=len(rpc_slots), bytes=msg.total_bytes)
+                msg.span.add_phase("doorbell_mmio", doorbell_t0, t_post)
+                for slot in rpc_slots:
+                    if slot.request.span is not None:
+                        slot.request.span.close("client_queue", t_post)
             signaled = channel.next_signaled(self.cfg.signal_every)
             channel.client_qp.post_send(WorkRequest(
                 verb=Verb.WRITE, length=msg.total_bytes,
                 remote_addr=channel.request_ring.region.addr,
                 rkey=channel.request_ring.region.rkey,
-                payload=msg, signaled=signaled,
+                payload=msg, signaled=signaled, span=msg.span,
             ))
             channel.tcq.record_message(len(rpc_slots))
             if self.tracer.enabled:
@@ -684,6 +762,7 @@ class FlockClient:
     def _maybe_renew(self, handle: ConnectionHandle, channel) -> None:
         if channel.credits.needs_renewal():
             channel.credits.mark_renewal_sent()
+            self._m_renewals_sent.inc()
             self.sim.spawn(self._send_renewal(handle, channel), name="flock-renew")
 
     def _send_renewal(self, handle: ConnectionHandle,
@@ -705,9 +784,12 @@ class FlockClient:
         newly assigned QPs (§5.2)."""
         stranded = list(channel.tcq.pending)
         channel.tcq.pending.clear()
-        if stranded and self.tracer.enabled:
-            self.tracer.emit("migration", qp=channel.index,
-                             stranded=len(stranded))
+        if stranded:
+            self._m_migrations.inc()
+            self._m_stranded.inc(len(stranded))
+            if self.tracer.enabled:
+                self.tracer.emit("migration", qp=channel.index,
+                                 stranded=len(stranded))
         for slot in stranded:
             thread_id = slot.request.thread_id
             new_channel = handle.qp_for_thread(thread_id)
@@ -751,7 +833,12 @@ class FlockClient:
             if msg.piggyback_credits:
                 channel.credits.on_grant(CreditGrant(
                     qp_index=channel.index, credits=msg.piggyback_credits))
+            t_done = self.sim.now
             for response in msg.entries:
+                span = response.span
+                if span is not None:
+                    span.close("response", t_done)
+                    span.finish(t_done)
                 handle.complete_pending(response.thread_id, response.seq_id,
                                         response)
 

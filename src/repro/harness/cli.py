@@ -9,6 +9,17 @@ Regenerates any paper figure without pytest::
 
 Each command prints the same paper-style table the benchmark suite
 produces.  Use ``--scale`` to lengthen measurement windows.
+
+Observability flags (see ``docs/observability.md``)::
+
+    python -m repro.harness.cli --breakdown fig2a
+    python -m repro.harness.cli --trace fig6.trace.json fig6 --threads 8
+    python -m repro.harness.cli --metrics fig2a.metrics.json fig2a
+
+``--trace`` writes a Chrome trace-event file (load it at
+``ui.perfetto.dev``), ``--metrics`` dumps every counter/gauge/histogram
+(JSON, or CSV when the filename ends in ``.csv``), and ``--breakdown``
+prints the phase-level latency table aggregated over all traced spans.
 """
 
 from __future__ import annotations
@@ -18,6 +29,7 @@ import os
 import sys
 from typing import List
 
+from ..obs import Telemetry, disable, enable, format_breakdown, write_chrome_trace
 from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
 from .microbench import (
     MicrobenchConfig,
@@ -183,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate FLock paper experiments")
     parser.add_argument("--scale", type=float, default=None,
                         help="measurement-window multiplier")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON of every "
+                             "traced RPC (open in ui.perfetto.dev)")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write a metrics snapshot (JSON, or CSV when "
+                             "the name ends in .csv)")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the phase-level latency breakdown "
+                             "after the experiment")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig2a", help="RC read scaling (Fig 2a)")
@@ -248,7 +269,28 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.scale is not None:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
-    args.fn(args)
+    observing = bool(args.trace or args.metrics or args.breakdown)
+    telemetry = enable(Telemetry()) if observing else None
+    try:
+        args.fn(args)
+    finally:
+        disable()
+    if telemetry is not None:
+        if args.breakdown:
+            print()
+            print(format_breakdown(telemetry.breakdown(),
+                                   title="Latency breakdown (all spans)"))
+        if args.trace:
+            write_chrome_trace(telemetry.spans, args.trace)
+            print("wrote Chrome trace: %s (%d spans)"
+                  % (args.trace, len(telemetry.spans.spans)))
+        if args.metrics:
+            text = (telemetry.registry.to_csv()
+                    if args.metrics.endswith(".csv")
+                    else telemetry.registry.to_json())
+            with open(args.metrics, "w") as fh:
+                fh.write(text)
+            print("wrote metrics snapshot: %s" % args.metrics)
     return 0
 
 

@@ -24,7 +24,7 @@ from ..flock import FlockNode
 from ..net import build_cluster
 from ..sim import Simulator, Streams
 from .metrics import Recorder, RunResult
-from .microbench import bench_scale
+from .microbench import _install_telemetry, bench_scale
 
 __all__ = ["IndexBenchConfig", "run_flock_index", "run_erpc_index"]
 
@@ -85,12 +85,13 @@ def _run(sim: Simulator, cfg: IndexBenchConfig, recorders: Dict[str, Recorder]):
 
 
 def _results(recorders: Dict[str, Recorder], sim: Simulator,
-             system: str, **extras) -> Dict[str, RunResult]:
+             system: str, telemetry=None, **extras) -> Dict[str, RunResult]:
     out = {}
     total_ops = 0
     duration = None
     for name, recorder in recorders.items():
         result = recorder.result(system=system, **extras)
+        result.telemetry = telemetry
         out[name] = result
         total_ops += result.ops
         duration = result.duration_ns
@@ -100,9 +101,11 @@ def _results(recorders: Dict[str, Recorder], sim: Simulator,
 
 
 def run_flock_index(cfg: IndexBenchConfig,
-                    flock_cfg: Optional[FlockConfig] = None) -> Dict[str, RunResult]:
+                    flock_cfg: Optional[FlockConfig] = None,
+                    telemetry=None) -> Dict[str, RunResult]:
     """90 % get / 10 % scan over FLock RPC."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "flock-index")
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     if flock_cfg is None:
@@ -140,13 +143,14 @@ def run_flock_index(cfg: IndexBenchConfig,
                           name="hydra-worker")
 
     _run(sim, cfg, recorders)
-    return _results(recorders, sim, "flock",
+    return _results(recorders, sim, "flock", telemetry=tel,
                     server_cpu=round(servers[0].cpu.utilization(), 3))
 
 
-def run_erpc_index(cfg: IndexBenchConfig) -> Dict[str, RunResult]:
+def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None) -> Dict[str, RunResult]:
     """90 % get / 10 % scan over eRPC."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "erpc-index")
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     index = build_index(cfg)
@@ -187,5 +191,5 @@ def run_erpc_index(cfg: IndexBenchConfig) -> Dict[str, RunResult]:
                           name="hydra-worker")
 
     _run(sim, cfg, recorders)
-    return _results(recorders, sim, "erpc",
+    return _results(recorders, sim, "erpc", telemetry=tel,
                     server_cpu=round(servers[0].cpu.utilization(), 3))

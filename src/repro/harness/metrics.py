@@ -70,6 +70,9 @@ class RunResult:
     duration_ns: float
     latency: Dict[str, float]
     extras: Dict[str, object] = field(default_factory=dict)
+    #: The :class:`repro.obs.Telemetry` active during the run (None when
+    #: observability was not enabled) — holds spans and metric values.
+    telemetry: Optional[object] = field(default=None, repr=False)
 
     @property
     def mops(self) -> float:
@@ -93,6 +96,17 @@ class RunResult:
             "p99_us": round(self.p99_us, 2),
             "ops": self.ops,
         }
+
+    def breakdown(self, name: Optional[str] = "rpc") -> Dict[str, Dict[str, float]]:
+        """Phase-level latency breakdown of the run's spans.
+
+        Returns ``{phase: {count, total_ns, mean_ns, max_ns, share}}``
+        (see :meth:`repro.obs.SpanLog.breakdown`); empty when the run was
+        not traced.
+        """
+        if self.telemetry is None:
+            return {}
+        return self.telemetry.breakdown(name)
 
     def __repr__(self) -> str:
         return ("RunResult(mops=%.3f, median=%.2fus, p99=%.2fus, ops=%d)"

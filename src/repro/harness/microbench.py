@@ -27,6 +27,7 @@ from ..baselines import (
 from ..config import ClusterConfig, FlockConfig
 from ..flock import FlockNode
 from ..net import build_cluster
+from ..obs import current_telemetry
 from ..sim import Simulator
 from ..workloads import FixedSize
 from .metrics import Recorder, RunResult
@@ -84,6 +85,20 @@ class MicrobenchConfig:
         return self.sizegen if self.sizegen is not None else FixedSize(self.req_size)
 
 
+def _install_telemetry(sim: Simulator, telemetry, label: str):
+    """Install the run's telemetry on ``sim`` before any component is
+    built (components cache their instruments at construction time).
+
+    An explicit ``telemetry=`` argument wins; otherwise the process-wide
+    telemetry enabled via :func:`repro.obs.enable` (e.g. by CLI flags)
+    is used.  Returns the installed :class:`repro.obs.Telemetry` or None.
+    """
+    tel = telemetry if telemetry is not None else current_telemetry()
+    if tel is not None:
+        tel.install(sim, label=label)
+    return tel
+
+
 def _echo_handler(resp_size: int, handler_ns: float):
     def handler(request):
         return resp_size, None, handler_ns
@@ -102,9 +117,11 @@ def _run_window(sim: Simulator, recorder: Recorder, warmup: float,
 
 def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
               coalescing: bool = True, thread_scheduling: bool = True,
-              flock_cfg: Optional[FlockConfig] = None) -> RunResult:
+              flock_cfg: Optional[FlockConfig] = None,
+              telemetry=None) -> RunResult:
     """Closed-loop echo RPCs over FLock."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "flock")
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     if flock_cfg is None:
@@ -149,7 +166,7 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
     _run_window(sim, recorder, warmup, measure)
     degree = (sum(h.mean_coalescing_degree() for h in handles) / len(handles)
               if handles else 1.0)
-    return recorder.result(
+    result = recorder.result(
         system="flock",
         mean_coalescing_degree=round(degree, 3),
         active_qps=server.server.total_active_qps,
@@ -158,15 +175,18 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
         qp_cache_miss=round(servers[0].rnic.qp_cache.stats.miss_ratio, 4),
         events=sim.events_processed,
     )
+    result.telemetry = tel
+    return result
 
 
 # ---------------------------------------------------------------------------
 # eRPC (Figs. 6-8, 16-18 baseline)
 # ---------------------------------------------------------------------------
 
-def run_erpc(cfg: MicrobenchConfig) -> RunResult:
+def run_erpc(cfg: MicrobenchConfig, *, telemetry=None) -> RunResult:
     """Closed-loop echo RPCs over the eRPC-like UD baseline."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "erpc")
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = ErpcServer(sim, servers[0], fabric)
@@ -201,26 +221,30 @@ def run_erpc(cfg: MicrobenchConfig) -> RunResult:
 
     warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure)
-    return recorder.result(
+    result = recorder.result(
         system="erpc",
         server_cpu=round(servers[0].cpu.utilization(), 3),
         server_net_frac=round(servers[0].cpu.network_fraction(), 3),
         recv_drops=server.recv_drops,
         events=sim.events_processed,
     )
+    result.telemetry = tel
+    return result
 
 
 # ---------------------------------------------------------------------------
 # RC sharing baselines: no-sharing / FaRM-style spinlock (Fig. 9)
 # ---------------------------------------------------------------------------
 
-def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1) -> RunResult:
+def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
+           telemetry=None) -> RunResult:
     """Closed-loop echo RPCs over RC write-based RPC without coalescing.
 
     ``threads_per_qp=1`` is the dedicated-QP (no sharing) config;
     2 or 4 is FaRM-like spinlock sharing.
     """
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "rc-%dtpq" % threads_per_qp)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = RcRpcServer(sim, servers[0], fabric)
@@ -254,12 +278,14 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1) -> RunResult:
 
     warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure)
-    return recorder.result(
+    result = recorder.result(
         system="rc-%dtpq" % threads_per_qp,
         server_cpu=round(servers[0].cpu.utilization(), 3),
         qp_cache_miss=round(servers[0].rnic.qp_cache.stats.miss_ratio, 4),
         events=sim.events_processed,
     )
+    result.telemetry = tel
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -270,9 +296,11 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                   outstanding_per_qp: int = 4,
                   warmup_ns: float = 200_000.0,
                   measure_ns: float = 300_000.0,
-                  cluster: Optional[ClusterConfig] = None) -> RunResult:
+                  cluster: Optional[ClusterConfig] = None,
+                  telemetry=None) -> RunResult:
     """16-byte RDMA reads over an increasing number of QPs."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "rc-read qps=%d" % total_qps)
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     region = servers[0].memory.register(1 << 20)
@@ -302,7 +330,8 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                            "qp_cache_miss": round(
                                servers[0].rnic.qp_cache.stats.miss_ratio, 4),
                            "pcie_reads": servers[0].rnic.pcie.reads_issued,
-                       })
+                       },
+                       telemetry=tel)
     return result
 
 
@@ -310,9 +339,11 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
                resp_size: int = 64, handler_ns: float = 100.0,
                outstanding: int = 2, warmup_ns: float = 200_000.0,
                measure_ns: float = 300_000.0,
-               cluster: Optional[ClusterConfig] = None) -> RunResult:
+               cluster: Optional[ClusterConfig] = None,
+               telemetry=None) -> RunResult:
     """UD-based RPC with an increasing number of senders."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "ud-rpc n=%d" % n_senders)
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = UdRpcServer(sim, servers[0], fabric)
@@ -341,10 +372,12 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
     scale = bench_scale()
     warmup, measure = warmup_ns * scale, measure_ns * scale
     _run_window(sim, recorder, warmup, measure)
-    return recorder.result(
+    result = recorder.result(
         system="ud-rpc",
         n_senders=per_client * n_clients,
         server_cpu=round(servers[0].cpu.utilization(), 3),
         server_net_frac=round(servers[0].cpu.network_fraction(), 3),
         events=sim.events_processed,
     )
+    result.telemetry = tel
+    return result

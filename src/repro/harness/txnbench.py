@@ -34,7 +34,7 @@ from ..net import build_cluster
 from ..sim import Simulator, Store, Streams
 from ..workloads import SmallbankWorkload, TatpWorkload
 from .metrics import Recorder, RunResult
-from .microbench import bench_scale
+from .microbench import _install_telemetry, bench_scale
 
 __all__ = ["TxnBenchConfig", "run_flocktx", "run_fasst_txn", "build_txn_servers"]
 
@@ -147,9 +147,11 @@ def _result(recorder: Recorder, coordinators: List[Coordinator],
 
 
 def run_flocktx(cfg: TxnBenchConfig,
-                flock_cfg: Optional[FlockConfig] = None) -> RunResult:
+                flock_cfg: Optional[FlockConfig] = None,
+                telemetry=None) -> RunResult:
     """FLockTX: the transaction protocol over FLock RPC + fl_read."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "flocktx")
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients,
                       n_servers=cfg.n_servers, seed=cfg.seed)
     server_hw, client_hw, fabric = build_cluster(sim, cluster)
@@ -193,13 +195,16 @@ def run_flocktx(cfg: TxnBenchConfig,
     warmup, measure = cfg.durations()
     recorder.open_window(warmup, warmup + measure)
     sim.run(until=warmup + measure)
-    return _result(recorder, coordinators, sim, system="flocktx",
-                   server_cpu=round(server_hw[0].cpu.utilization(), 3))
+    result = _result(recorder, coordinators, sim, system="flocktx",
+                     server_cpu=round(server_hw[0].cpu.utilization(), 3))
+    result.telemetry = tel
+    return result
 
 
-def run_fasst_txn(cfg: TxnBenchConfig) -> RunResult:
+def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None) -> RunResult:
     """The same protocol over FaSST-style UD RPCs (two-sided only)."""
     sim = Simulator()
+    tel = _install_telemetry(sim, telemetry, "fasst")
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients,
                       n_servers=cfg.n_servers, seed=cfg.seed)
     server_hw, client_hw, fabric = build_cluster(sim, cluster)
@@ -230,6 +235,8 @@ def run_fasst_txn(cfg: TxnBenchConfig) -> RunResult:
     warmup, measure = cfg.durations()
     recorder.open_window(warmup, warmup + measure)
     sim.run(until=warmup + measure)
-    return _result(recorder, coordinators, sim, system="fasst",
-                   server_cpu=round(server_hw[0].cpu.utilization(), 3),
-                   recv_drops=sum(f.recv_drops for f in fasst_servers))
+    result = _result(recorder, coordinators, sim, system="fasst",
+                     server_cpu=round(server_hw[0].cpu.utilization(), 3),
+                     recv_drops=sum(f.recv_drops for f in fasst_servers))
+    result.telemetry = tel
+    return result

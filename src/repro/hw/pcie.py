@@ -33,6 +33,10 @@ class PcieLink:
         self._slots = Resource(sim, capacity=max(1, slots))
         self.reads_issued = 0
         self.busy_ns = 0.0
+        metrics = sim.metrics
+        self._m_reads = metrics.counter("pcie.reads")
+        self._m_stall_ns = metrics.counter("pcie.stall_ns")
+        self._m_queue_ns = metrics.counter("pcie.queue_ns")
 
     @property
     def outstanding(self) -> int:
@@ -45,9 +49,13 @@ class PcieLink:
     def read(self) -> Generator[Event, None, None]:
         """Process-style: perform one PCIe read (state fetch)."""
         self.reads_issued += 1
+        self._m_reads.inc()
+        queued_at = self.sim.now
         yield self._slots.acquire()
         try:
+            self._m_queue_ns.inc(self.sim.now - queued_at)
             self.busy_ns += self.read_latency_ns
+            self._m_stall_ns.inc(self.read_latency_ns)
             yield self.sim.timeout(self.read_latency_ns)
         finally:
             self._slots.release()

@@ -16,9 +16,10 @@ compose in virtual time.
 
 from __future__ import annotations
 
-from typing import Generator, Iterable
+from typing import Generator, Iterable, Optional
 
 from ..config import NetConfig, NicConfig
+from ..obs.span import Span
 from ..sim import Event, Resource, Simulator, TokenBucket
 from .cache import LruCache
 from .pcie import PcieLink
@@ -46,6 +47,29 @@ class Rnic:
         self.bytes_tx = 0
         self.packets_tx = 0
         self.cqes_generated = 0
+        # Typed instruments (no-op singletons unless telemetry installed
+        # on the simulator before construction).
+        metrics = sim.metrics
+        self._m_qp_hits = metrics.counter("rnic.qp_cache.hits")
+        self._m_qp_misses = metrics.counter("rnic.qp_cache.misses")
+        self._m_mtt_hits = metrics.counter("rnic.mtt_cache.hits")
+        self._m_mtt_misses = metrics.counter("rnic.mtt_cache.misses")
+        self._m_tx = metrics.counter("rnic.messages_tx")
+        self._m_rx = metrics.counter("rnic.messages_rx")
+        self._m_tx_bytes = metrics.counter("rnic.bytes_tx")
+        self._m_cqes = metrics.counter("rnic.cqes")
+        if metrics.enabled:
+            # Per-NIC gauges: cheap callables sampled only at snapshot.
+            metrics.gauge("rnic.qp_cache.evictions",
+                          fn=lambda: self.qp_cache.stats.evictions,
+                          nic=name)
+            metrics.gauge("rnic.mtt_cache.evictions",
+                          fn=lambda: self.mtt_cache.stats.evictions,
+                          nic=name)
+            metrics.gauge("rnic.tx_port.occupancy",
+                          fn=lambda: self._tx_port.in_use, nic=name)
+            metrics.gauge("rnic.pcie.outstanding",
+                          fn=lambda: self.pcie.outstanding, nic=name)
 
     # -- wire-format helpers --------------------------------------------
 
@@ -65,54 +89,97 @@ class Rnic:
     # -- state-cache lookups ---------------------------------------------
 
     def _lookup(
-        self, qpn: int, rkeys: Iterable[int]
+        self, qpn: int, rkeys: Iterable[int],
+        span: Optional[Span] = None,
     ) -> Generator[Event, None, None]:
         """Touch the QP context and any memory-translation entries.
 
         Misses stall on PCIe; concurrent misses contend for the bounded
         PCIe read slots, which is what converts thrashing into collapse.
+        A carried ``span`` gets one ``pcie_stall`` sub-phase per miss and
+        hit/miss annotations.
         """
-        if not self.qp_cache.access(("qp", qpn)):
-            yield from self.pcie.read()
-        for rkey in rkeys:
-            if not self.mtt_cache.access(("mr", rkey)):
+        if self.qp_cache.access(("qp", qpn)):
+            self._m_qp_hits.inc()
+            if span is not None:
+                span.bump("qp_hits")
+        else:
+            self._m_qp_misses.inc()
+            if span is not None:
+                span.bump("qp_misses")
+                stall_t0 = self.sim.now
                 yield from self.pcie.read()
+                span.add_phase("pcie_stall", stall_t0, self.sim.now)
+            else:
+                yield from self.pcie.read()
+        for rkey in rkeys:
+            if self.mtt_cache.access(("mr", rkey)):
+                self._m_mtt_hits.inc()
+            else:
+                self._m_mtt_misses.inc()
+                if span is not None:
+                    span.bump("mtt_misses")
+                    stall_t0 = self.sim.now
+                    yield from self.pcie.read()
+                    span.add_phase("pcie_stall", stall_t0, self.sim.now)
+                else:
+                    yield from self.pcie.read()
 
     # -- directional processing -------------------------------------------
 
     def tx_process(
-        self, nbytes: int, qpn: int, rkeys: Iterable[int] = ()
+        self, nbytes: int, qpn: int, rkeys: Iterable[int] = (),
+        span: Optional[Span] = None,
     ) -> Generator[Event, None, None]:
         """NIC-side work to emit one message: state lookup, rate limit,
-        and wire serialization (the TX port is held for the wire time)."""
-        yield from self._lookup(qpn, rkeys)
+        and wire serialization (the TX port is held for the wire time).
+        A carried ``span`` records a ``nic_tx`` phase with ``pcie_stall``,
+        ``tx_queue``, and ``wire`` sub-phases."""
+        t0 = self.sim.now
+        yield from self._lookup(qpn, rkeys, span)
         delay = self._tx_bucket.delay_for()
         if delay > 0:
             yield self.sim.timeout(delay)
         wire = self.wire_time_ns(nbytes)
+        port_t0 = self.sim.now
         yield self._tx_port.acquire()
         try:
+            if span is not None:
+                port_t1 = self.sim.now
+                if port_t1 > port_t0:
+                    span.add_phase("tx_queue", port_t0, port_t1)
+                span.add_phase("wire", port_t1, port_t1 + wire)
             yield self.sim.timeout(wire)
         finally:
             self._tx_port.release()
         self.messages_tx += 1
         self.bytes_tx += nbytes
         self.packets_tx += self.packets_for(nbytes)
+        self._m_tx.inc()
+        self._m_tx_bytes.inc(nbytes)
+        if span is not None:
+            span.add_phase("nic_tx", t0, self.sim.now)
 
     def rx_process(
-        self, nbytes: int, qpn: int, rkeys: Iterable[int] = ()
+        self, nbytes: int, qpn: int, rkeys: Iterable[int] = (),
+        span: Optional[Span] = None,
     ) -> Generator[Event, None, None]:
         """NIC-side work to land one inbound message."""
+        t0 = self.sim.now
         delay = self._rx_bucket.delay_for()
         if delay > 0:
             yield self.sim.timeout(delay)
-        yield from self._lookup(qpn, rkeys)
+        yield from self._lookup(qpn, rkeys, span)
         self.messages_rx += 1
+        self._m_rx.inc()
+        if span is not None:
+            span.add_phase("nic_rx", t0, self.sim.now)
 
     def cqe_dma(self) -> Generator[Event, None, None]:
         """DMA one completion entry to the host CQ (skipped when the work
         request is unsignaled; §7 selective signaling)."""
         self.cqes_generated += 1
+        self._m_cqes.inc()
         yield self.sim.timeout(self.cfg.cqe_dma_ns)
 
     # -- reporting ---------------------------------------------------------

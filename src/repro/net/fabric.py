@@ -11,10 +11,11 @@ retransmission delay, unreliable ones surface it as a drop.
 from __future__ import annotations
 
 import random
-from typing import Generator, Iterable
+from typing import Generator, Iterable, Optional
 
 from ..config import ClusterConfig, CpuConfig, NetConfig, NicConfig
 from ..hw import CpuMeter, HostMemory, Rnic
+from ..obs.span import Span
 from ..sim import Event, Simulator
 
 __all__ = ["Node", "Fabric", "build_cluster"]
@@ -55,6 +56,22 @@ class Fabric:
         self.retransmit_ns = 12_000.0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        metrics = sim.metrics
+        self._m_messages = metrics.counter("net.messages")
+        self._m_payload_bytes = metrics.counter("net.payload_bytes")
+        self._m_wire_bytes = metrics.counter("net.wire_bytes")
+        self._m_header_bytes = metrics.counter("net.header_bytes")
+        self._m_packets = metrics.counter("net.packets")
+        self._m_drops = metrics.counter("net.drops")
+        self._m_retransmits = metrics.counter("net.retransmits")
+        if metrics.enabled:
+            # Aggregate utilization: wire bytes moved vs. one link's
+            # capacity over elapsed virtual time (sampled at snapshot).
+            metrics.gauge(
+                "net.link_utilization",
+                fn=lambda: (self._m_wire_bytes.value
+                            / (cfg.bandwidth_bytes_per_ns
+                               * max(sim.now, 1.0))))
 
     def transfer(
         self,
@@ -67,25 +84,36 @@ class Fabric:
         rkeys: Iterable[int] = (),
         reliable: bool = True,
         jitter_ns: float = 0.0,
+        span: Optional[Span] = None,
     ) -> Generator[Event, None, bool]:
         """Move one message from ``src`` to ``dst``.
 
         Returns True if delivered; False if dropped (unreliable transport
         under injected loss).  Reliable transfers always deliver but pay a
-        retransmission delay per loss event.
+        retransmission delay per loss event.  A carried ``span`` records
+        ``nic_tx`` / ``propagation`` / ``nic_rx`` phases along the way.
         """
-        yield from src.rnic.tx_process(nbytes, src_qpn, rkeys)
+        self._m_messages.inc()
+        self._m_payload_bytes.inc(nbytes)
+        self._m_wire_bytes.inc(src.rnic.wire_bytes(nbytes))
+        self._m_header_bytes.inc(src.rnic.wire_bytes(nbytes) - nbytes)
+        self._m_packets.inc(src.rnic.packets_for(nbytes))
+        yield from src.rnic.tx_process(nbytes, src_qpn, rkeys, span=span)
         delay = self.cfg.propagation_ns + src.rnic.cfg.base_latency_ns
         if jitter_ns > 0:
             delay += self.rng.random() * jitter_ns
         if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
             if not reliable:
                 self.messages_dropped += 1
+                self._m_drops.inc()
                 return False
             # RNIC-level retransmission: invisible to software, costs time.
             delay += self.retransmit_ns
+            self._m_retransmits.inc()
+        if span is not None:
+            span.add_phase("propagation", self.sim.now, self.sim.now + delay)
         yield self.sim.timeout(delay)
-        yield from dst.rnic.rx_process(nbytes, dst_qpn, rkeys)
+        yield from dst.rnic.rx_process(nbytes, dst_qpn, rkeys, span=span)
         self.messages_delivered += 1
         return True
 

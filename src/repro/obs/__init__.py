@@ -1,0 +1,55 @@
+"""Full-stack observability: spans, metrics, and trace export.
+
+Three pillars, all opt-in and near-zero-cost when disabled:
+
+* **Per-RPC spans** (:mod:`repro.obs.span`) — every RPC and every wire
+  message can carry a :class:`Span` through client enqueue → doorbell
+  MMIO → RNIC processing (with cache-miss/PCIe-stall sub-phases) → wire
+  → server queue → handler → response, recorded in virtual time and
+  aggregated into phase-level latency breakdowns.
+* **Metrics registry** (:mod:`repro.obs.registry`) — typed
+  counters/gauges/histograms wired into the hot paths of the RNIC, PCIe,
+  fabric, verbs, and FLock layers; the default :class:`NullRegistry`
+  hands out shared no-op instruments so the uninstrumented path costs
+  one empty method call.
+* **Export** (:mod:`repro.obs.export`) — Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``) plus metrics snapshots
+  as JSON/CSV, surfaced on the CLI as ``--trace`` / ``--metrics`` /
+  ``--breakdown``.
+
+See ``docs/observability.md`` for the span model, metric names by layer,
+and CLI usage.
+"""
+
+from .export import chrome_trace, format_breakdown, write_chrome_trace
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    null_registry,
+)
+from .span import PHASES, NullSpanLog, Span, SpanLog, null_span_log
+from .telemetry import Telemetry, current_telemetry, disable, enable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullRegistry",
+    "NullSpanLog",
+    "PHASES",
+    "Registry",
+    "Span",
+    "SpanLog",
+    "Telemetry",
+    "chrome_trace",
+    "current_telemetry",
+    "disable",
+    "enable",
+    "format_breakdown",
+    "null_registry",
+    "null_span_log",
+    "write_chrome_trace",
+]

@@ -1,0 +1,351 @@
+"""Typed metrics instruments and the central registry.
+
+Every layer of the stack (RNIC caches, PCIe link, fabric, verbs queues,
+FLock schedulers) exposes its hot-path statistics through three typed
+instruments rather than ad-hoc attributes:
+
+* :class:`Counter` — a monotonically increasing total (messages sent,
+  cache misses, PCIe stall nanoseconds, ...),
+* :class:`Gauge` — a point-in-time value, either set explicitly or backed
+  by a zero-argument callable sampled at snapshot time (queue depth,
+  pipeline occupancy), and
+* :class:`Histogram` — a distribution with cheap online moments plus a
+  bounded sample reservoir for percentiles (coalescing degree, CQ poll
+  batch size).
+
+Instruments are created through a :class:`Registry`, memoized by
+``(name, labels)`` so two components asking for the same metric share one
+instrument.  The default registry installed on every simulator is the
+:class:`NullRegistry`, whose instruments are shared no-op singletons: the
+hot paths always call ``counter.inc()`` unconditionally, and the disabled
+path costs one empty method call — no branches, no allocation, no dict
+lookups (components cache their instruments at construction time).
+
+This module is intentionally dependency-free (stdlib only) so the
+simulation kernel itself can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "Registry",
+    "null_registry",
+]
+
+
+def _label_key(labels: Dict[str, Any]) -> Tuple:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted(labels.items()))
+
+
+def _format_name(name: str, labels: Dict[str, Any]) -> str:
+    """Prometheus-style display name: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join("%s=%s" % (k, v) for k, v in sorted(labels.items()))
+    return "%s{%s}" % (name, inner)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.labels = labels or {}
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Add ``n`` (default 1) to the total."""
+        self.value += n
+
+    def __repr__(self) -> str:
+        return "Counter(%s=%g)" % (_format_name(self.name, self.labels), self.value)
+
+
+class Gauge:
+    """A point-in-time value, set directly or read from a callable."""
+
+    __slots__ = ("name", "labels", "_value", "fn")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, Any]] = None,
+                 fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.labels = labels or {}
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self._value = value
+
+    @property
+    def value(self) -> float:
+        """The current value (sampling the backing callable if present)."""
+        if self.fn is not None:
+            return float(self.fn())
+        return self._value
+
+    def __repr__(self) -> str:
+        return "Gauge(%s=%g)" % (_format_name(self.name, self.labels), self.value)
+
+
+class Histogram:
+    """A distribution: online count/sum/min/max plus a bounded reservoir.
+
+    The reservoir keeps the first ``max_samples`` observations for
+    percentile queries; the moments stay exact regardless.  This is a
+    deliberate trade-off: simulation sweeps observe millions of values,
+    and the interesting percentile structure is stable early.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max",
+                 "samples", "max_samples")
+
+    def __init__(self, name: str, labels: Optional[Dict[str, Any]] = None,
+                 max_samples: int = 65536):
+        self.name = name
+        self.labels = labels or {}
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.samples: List[float] = []
+        self.max_samples = max_samples
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self.samples) < self.max_samples:
+            self.samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile ``p`` in [0, 100] from the reservoir."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = p / 100.0 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        """Count/sum/min/max/mean/p50/p99 as a plain dict."""
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:
+        return "Histogram(%s, n=%d, mean=%g)" % (
+            _format_name(self.name, self.labels), self.count, self.mean)
+
+
+class Registry:
+    """Central factory and store for named instruments.
+
+    Instruments are memoized by ``(name, labels)``: asking twice returns
+    the same object, so components on different nodes can either share a
+    global total (no labels) or keep per-node series (e.g.
+    ``registry.counter("pcie.reads", nic="server0.rnic")``).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[Tuple, Counter] = {}
+        self._gauges: Dict[Tuple, Gauge] = {}
+        self._histograms: Dict[Tuple, Histogram] = {}
+
+    # -- factories ------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        """Get or create the counter ``name`` with optional labels."""
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = Counter(name, labels)
+            self._counters[key] = inst
+        return inst
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels) -> Gauge:
+        """Get or create the gauge ``name``; ``fn`` backs it if given."""
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = Gauge(name, labels, fn=fn)
+            self._gauges[key] = inst
+        elif fn is not None:
+            inst.fn = fn
+        return inst
+
+    def histogram(self, name: str, max_samples: int = 65536,
+                  **labels) -> Histogram:
+        """Get or create the histogram ``name`` with optional labels."""
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = Histogram(name, labels, max_samples=max_samples)
+            self._histograms[key] = inst
+        return inst
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All instrument values keyed by display name."""
+        return {
+            "counters": {
+                _format_name(c.name, c.labels): c.value
+                for c in self._counters.values()
+            },
+            "gauges": {
+                _format_name(g.name, g.labels): g.value
+                for g in self._gauges.values()
+            },
+            "histograms": {
+                _format_name(h.name, h.labels): h.summary()
+                for h in self._histograms.values()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """The snapshot as flat CSV rows: type,name,field,value."""
+        out = io.StringIO()
+        out.write("type,name,field,value\n")
+        snap = self.snapshot()
+        for name in sorted(snap["counters"]):
+            out.write("counter,%s,value,%g\n" % (name, snap["counters"][name]))
+        for name in sorted(snap["gauges"]):
+            out.write("gauge,%s,value,%g\n" % (name, snap["gauges"][name]))
+        for name in sorted(snap["histograms"]):
+            for field in ("count", "sum", "min", "max", "mean", "p50", "p99"):
+                out.write("histogram,%s,%s,%g\n"
+                          % (name, field, snap["histograms"][name][field]))
+        return out.getvalue()
+
+
+class NullCounter:
+    """No-op counter: the disabled hot path."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        """Discard the increment."""
+
+
+class NullGauge:
+    """No-op gauge: the disabled hot path."""
+
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+
+class NullHistogram:
+    """No-op histogram: the disabled hot path."""
+
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    def percentile(self, p: float) -> float:
+        """Nothing was recorded."""
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """An all-zero summary."""
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p99": 0.0}
+
+
+_NULL_COUNTER = NullCounter()
+_NULL_GAUGE = NullGauge()
+_NULL_HISTOGRAM = NullHistogram()
+
+
+class NullRegistry:
+    """Registry stub handing out shared no-op instruments.
+
+    Installed on every :class:`repro.sim.Simulator` by default, so
+    instrumented components can cache and call their instruments
+    unconditionally at near-zero cost.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> NullCounter:
+        """The shared no-op counter."""
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
+              **labels) -> NullGauge:
+        """The shared no-op gauge (the callable is never sampled)."""
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, max_samples: int = 65536,
+                  **labels) -> NullHistogram:
+        """The shared no-op histogram."""
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """An empty snapshot."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def to_json(self, indent: int = 2) -> str:
+        """An empty JSON snapshot."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_csv(self) -> str:
+        """Header-only CSV."""
+        return "type,name,field,value\n"
+
+
+#: Shared stub installed on simulators constructed without telemetry.
+null_registry = NullRegistry()

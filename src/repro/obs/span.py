@@ -1,0 +1,230 @@
+"""Per-RPC and per-message spans recorded in virtual time.
+
+A :class:`Span` is one unit of work moving through the stack — an RPC
+from ``fl_send_rpc`` to response delivery, or one wire message from
+doorbell to remote-ring landing.  Spans carry *phases*: named
+``(t0, t1)`` sub-intervals recorded as the work crosses each layer
+(``client_queue``, ``doorbell_mmio``, ``pcie_stall``, ``wire``,
+``propagation``, ``nic_rx``, ``server_queue``, ``server_handler``,
+``response``).  Aggregating phase totals over a run answers the question
+every figure in the paper hinges on: *where did the microseconds go?*
+
+Spans are created through a :class:`SpanLog`; the default installed on
+every simulator is :data:`null_span_log`, whose ``enabled`` flag lets
+hot paths skip span work entirely (producers test ``spans.enabled`` once
+per message and carry ``None`` otherwise).
+
+Virtual timestamps are passed in explicitly by callers (they all hold
+``sim.now``); this module stays free of simulator imports so any layer
+can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Span", "SpanLog", "NullSpanLog", "null_span_log", "PHASES"]
+
+#: Canonical phase names in stack order, used to order breakdown tables.
+PHASES = (
+    "client_queue",
+    "doorbell_mmio",
+    "nic_tx",
+    "pcie_stall",
+    "tx_queue",
+    "wire",
+    "propagation",
+    "nic_rx",
+    "server_queue",
+    "server_handler",
+    "response",
+)
+
+
+class Span:
+    """One traced unit of work with named sub-phases in virtual time."""
+
+    __slots__ = ("name", "track", "t0", "t1", "args", "phases", "_open",
+                 "pid", "_log")
+
+    def __init__(self, log: "SpanLog", name: str, track: str, t0: float,
+                 pid: int, args: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.track = track
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.args: Dict[str, Any] = args or {}
+        #: Finished sub-intervals: (phase name, t0, t1).
+        self.phases: List[Tuple[str, float, float]] = []
+        self._open: Dict[str, float] = {}
+        self.pid = pid
+        self._log = log
+
+    # -- phases ---------------------------------------------------------
+
+    def open(self, phase: str, t: float) -> None:
+        """Begin phase ``phase`` at virtual time ``t``."""
+        self._open[phase] = t
+
+    def close(self, phase: str, t: float) -> None:
+        """End a previously opened phase (no-op if it was never opened)."""
+        t0 = self._open.pop(phase, None)
+        if t0 is not None:
+            self.phases.append((phase, t0, t))
+
+    def add_phase(self, phase: str, t0: float, t1: float) -> None:
+        """Record a finished sub-interval directly."""
+        self.phases.append((phase, t0, t1))
+
+    def bump(self, key: str, n: float = 1) -> None:
+        """Increment a numeric annotation in ``args`` (e.g. miss counts)."""
+        self.args[key] = self.args.get(key, 0) + n
+
+    def adopt(self, other: "Span",
+              phases: Optional[Iterable[str]] = None) -> None:
+        """Copy phases from ``other`` (e.g. a message-level hardware span
+        into each member RPC's span) so per-RPC breakdowns include the
+        shared hardware time.  ``phases`` restricts which names copy."""
+        wanted = None if phases is None else frozenset(phases)
+        for name, t0, t1 in other.phases:
+            if wanted is None or name in wanted:
+                self.phases.append((name, t0, t1))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def finish(self, t: float) -> None:
+        """Close the span (and any still-open phases) at time ``t``."""
+        if self.t1 is not None:
+            return
+        for phase, t0 in list(self._open.items()):
+            self.phases.append((phase, t0, t))
+        self._open.clear()
+        self.t1 = t
+        self._log._finished(self)
+
+    @property
+    def duration(self) -> float:
+        """Span length in ns (0 while unfinished)."""
+        return (self.t1 - self.t0) if self.t1 is not None else 0.0
+
+    def phase_total(self, phase: str) -> float:
+        """Summed duration of all sub-intervals named ``phase``."""
+        return sum(t1 - t0 for name, t0, t1 in self.phases if name == phase)
+
+    def __repr__(self) -> str:
+        return "Span(%s, track=%s, t0=%.0f, dur=%.0f, phases=%d)" % (
+            self.name, self.track, self.t0, self.duration, len(self.phases))
+
+
+class SpanLog:
+    """Collects finished spans and aggregates phase-level breakdowns.
+
+    ``max_spans`` bounds memory in long sweeps: past the cap, further
+    spans are still timed by their producers but dropped on finish (the
+    ``dropped`` counter makes the truncation visible).  ``run_id``
+    segregates spans from successive simulator runs inside one sweep; the
+    Chrome-trace exporter maps it to the ``pid`` field.
+    """
+
+    enabled = True
+
+    def __init__(self, max_spans: int = 200_000):
+        self.max_spans = max_spans
+        self.spans: List[Span] = []
+        self.dropped = 0
+        self.run_id = 0
+        #: Optional labels per run id (set by Telemetry.install).
+        self.run_labels: Dict[int, str] = {}
+
+    def new_run(self, label: str = "") -> int:
+        """Start a new run scope; returns its id (Chrome-trace pid)."""
+        self.run_id += 1
+        self.run_labels[self.run_id] = label or ("run%d" % self.run_id)
+        return self.run_id
+
+    def begin(self, name: str, track: str, t: float, **args) -> Span:
+        """Create a live span starting at virtual time ``t``."""
+        return Span(self, name, track, t, self.run_id or self.new_run(), args)
+
+    def _finished(self, span: Span) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- aggregation ----------------------------------------------------
+
+    def breakdown(self, name: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+        """Aggregate phase durations over finished spans.
+
+        Returns ``{phase: {count, total_ns, mean_ns, max_ns, share}}``
+        where ``share`` is the phase's fraction of all phase time.
+        ``name`` restricts aggregation to spans with that name (e.g.
+        only ``"rpc"`` spans).
+        """
+        totals: Dict[str, List[float]] = {}
+        for span in self.spans:
+            if name is not None and span.name != name:
+                continue
+            for phase, t0, t1 in span.phases:
+                cell = totals.get(phase)
+                if cell is None:
+                    cell = [0, 0.0, 0.0]  # count, total, max
+                    totals[phase] = cell
+                dur = t1 - t0
+                cell[0] += 1
+                cell[1] += dur
+                if dur > cell[2]:
+                    cell[2] = dur
+        grand = sum(cell[1] for cell in totals.values()) or 1.0
+        out: Dict[str, Dict[str, float]] = {}
+        for phase, (count, total, peak) in totals.items():
+            out[phase] = {
+                "count": count,
+                "total_ns": total,
+                "mean_ns": total / count if count else 0.0,
+                "max_ns": peak,
+                "share": total / grand,
+            }
+        return out
+
+    def phase_share(self, phase: str, name: Optional[str] = None) -> float:
+        """Fraction of all phase time spent in ``phase`` (0 if unseen)."""
+        table = self.breakdown(name)
+        return table.get(phase, {}).get("share", 0.0)
+
+
+class NullSpanLog:
+    """Disabled span log: producers skip span creation entirely."""
+
+    enabled = False
+    spans: List[Span] = []
+    dropped = 0
+    run_id = 0
+
+    def new_run(self, label: str = "") -> int:
+        """No run scopes when disabled."""
+        return 0
+
+    def begin(self, name: str, track: str, t: float, **args):
+        """Callers must not reach this on the disabled path; returning
+        None keeps misuse loud (attribute errors) instead of silent."""
+        return None
+
+    def __len__(self) -> int:
+        return 0
+
+    def breakdown(self, name: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+        """An empty breakdown."""
+        return {}
+
+    def phase_share(self, phase: str, name: Optional[str] = None) -> float:
+        """Nothing was recorded."""
+        return 0.0
+
+
+#: Shared stub installed on simulators constructed without telemetry.
+null_span_log = NullSpanLog()

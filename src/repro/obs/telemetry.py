@@ -1,0 +1,81 @@
+"""The Telemetry bundle: one object wiring all three pillars together.
+
+A :class:`Telemetry` owns a live :class:`repro.obs.registry.Registry` and
+:class:`repro.obs.span.SpanLog` and installs them onto a simulator
+*before* the cluster is built (instrumented components cache their
+instruments at construction time, so installation order matters — the
+harness runners handle this).
+
+A module-level *current telemetry* lets the CLI enable observability for
+every figure runner without threading a parameter through each command:
+``enable(tel)`` / ``disable()`` set it, and runners consult
+``current_telemetry()`` when no explicit telemetry argument is given.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .registry import Registry
+from .span import SpanLog
+
+__all__ = [
+    "Telemetry",
+    "current_telemetry",
+    "disable",
+    "enable",
+]
+
+
+class Telemetry:
+    """A live metrics registry + span log, installable on simulators."""
+
+    def __init__(self, max_spans: int = 200_000):
+        self.registry = Registry()
+        self.spans = SpanLog(max_spans=max_spans)
+        #: Labels of the runs this telemetry has been installed on.
+        self.runs = []
+
+    def install(self, sim, label: str = "") -> "Telemetry":
+        """Attach to ``sim`` (must precede component construction).
+
+        Each installation opens a new run scope in the span log, so a
+        sweep over several simulators exports as separate Chrome-trace
+        processes.  Returns self for chaining.
+        """
+        sim.metrics = self.registry
+        sim.spans = self.spans
+        run_label = label or ("run%d" % (len(self.runs) + 1))
+        self.spans.new_run(run_label)
+        self.runs.append(run_label)
+        return self
+
+    def breakdown(self, name: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+        """Phase-level latency breakdown over all recorded spans."""
+        return self.spans.breakdown(name)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The registry snapshot (counters/gauges/histograms)."""
+        return self.registry.snapshot()
+
+
+#: The CLI-installed telemetry runners fall back to (None = disabled).
+_current: Optional[Telemetry] = None
+
+
+def enable(telemetry: Telemetry) -> Telemetry:
+    """Make ``telemetry`` the process-wide default for figure runners."""
+    global _current
+    _current = telemetry
+    return telemetry
+
+
+def disable() -> None:
+    """Clear the process-wide default telemetry."""
+    global _current
+    _current = None
+
+
+def current_telemetry() -> Optional[Telemetry]:
+    """The process-wide default telemetry, or None when disabled."""
+    return _current

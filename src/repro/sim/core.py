@@ -18,6 +18,9 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs.registry import null_registry
+from ..obs.span import null_span_log
+
 __all__ = [
     "Simulator",
     "Event",
@@ -296,6 +299,12 @@ class Simulator:
         self._heap: List[tuple] = []
         self._seq = 0
         self._n_events = 0
+        #: Metrics registry consulted by instrumented components at
+        #: construction time; :meth:`repro.obs.Telemetry.install` swaps in
+        #: a live registry *before* the cluster is built.
+        self.metrics = null_registry
+        #: Span log for per-RPC/per-message tracing; disabled by default.
+        self.spans = null_span_log
 
     # -- scheduling ----------------------------------------------------
 

@@ -75,13 +75,18 @@ class Tracer:
         self._counts: Counter = Counter()
 
     def emit(self, kind: str, **fields) -> None:
-        """Record one event at the current virtual time."""
+        """Record one event at the current virtual time.
+
+        Counts and the event list stay consistent: an event dropped at
+        the ``max_events`` bound is tallied in ``dropped`` only, so
+        ``count(kind)`` always equals ``len(of_kind(kind))``.
+        """
         if self.only is not None and kind not in self.only:
             return
-        self._counts[kind] += 1
         if len(self.events) >= self.max_events:
             self.dropped += 1
             return
+        self._counts[kind] += 1
         self.events.append(TraceEvent(self.sim.now, kind, fields))
 
     # -- queries --------------------------------------------------------
@@ -172,15 +177,33 @@ class TimeSeries:
         return sum(v for _t, v in samples) / len(samples)
 
     def to_csv(self) -> str:
-        """Aligned samples as CSV (one column per gauge)."""
+        """Aligned samples as CSV (one column per gauge).
+
+        Every sample gets its own row: when a series holds several
+        samples at the same timestamp (e.g. gauges re-sampled within one
+        event), that timestamp spans as many rows as the deepest series,
+        instead of silently keeping only the last value.
+        """
         names = sorted(self.samples)
         if not names:
             return ""
-        times = sorted({t for name in names for t, _v in self.samples[name]})
-        by_name = {name: dict(self.samples[name]) for name in names}
+        # Per-series samples grouped by timestamp, order preserved.
+        grouped: Dict[str, Dict[float, List[float]]] = {}
+        for name in names:
+            per_t: Dict[float, List[float]] = {}
+            for t, v in self.samples[name]:
+                per_t.setdefault(t, []).append(v)
+            grouped[name] = per_t
+        times = sorted({t for per_t in grouped.values() for t in per_t})
         out = io.StringIO()
         writer = csv.writer(out)
         writer.writerow(["t"] + names)
         for t in times:
-            writer.writerow([t] + [by_name[name].get(t, "") for name in names])
+            depth = max(len(grouped[name].get(t, ())) for name in names)
+            for i in range(depth):
+                row: List[Any] = [t]
+                for name in names:
+                    vals = grouped[name].get(t, ())
+                    row.append(vals[i] if i < len(vals) else "")
+                writer.writerow(row)
         return out.getvalue()

@@ -27,6 +27,11 @@ class CompletionQueue:
         self._store = Store(sim, capacity)
         self.pushed = 0
         self.overflowed = 0
+        metrics = sim.metrics
+        self._m_pushed = metrics.counter("verbs.cq.pushed")
+        self._m_overflowed = metrics.counter("verbs.cq.overflowed")
+        self._m_depth = metrics.histogram("verbs.cq.depth")
+        self._m_poll_batch = metrics.histogram("verbs.cq.poll_batch")
 
     def __len__(self) -> int:
         return len(self._store)
@@ -35,10 +40,13 @@ class CompletionQueue:
         """RNIC side: append a completion (drops + counts on overflow)."""
         if self._store.try_put(wc):
             self.pushed += 1
+            self._m_pushed.inc()
+            self._m_depth.observe(len(self._store))
         else:
             # A real overflowed CQ moves the QP to an error state; for the
             # simulation, counting the overflow is enough for tests.
             self.overflowed += 1
+            self._m_overflowed.inc()
 
     def poll(self, max_entries: int = 16) -> List[Completion]:
         """Non-blocking reap of up to ``max_entries`` completions."""
@@ -48,6 +56,9 @@ class CompletionQueue:
             if not ok:
                 break
             out.append(wc)
+        if out:
+            # Completion batching: how many CQEs each successful poll reaps.
+            self._m_poll_batch.observe(len(out))
         return out
 
     def wait_pop(self) -> Event:

@@ -80,6 +80,10 @@ class QueuePair:
         self.recv_drops = 0
         self.sends_posted = 0
         self.destroyed = False
+        metrics = sim.metrics
+        self._m_wrs = metrics.counter("verbs.wrs_posted")
+        self._m_signaled = metrics.counter("verbs.wrs_signaled")
+        self._m_recv_drops = metrics.counter("verbs.recv_drops")
 
     # -- connection management ------------------------------------------
 
@@ -151,6 +155,15 @@ class QueuePair:
             if target is None:
                 raise VerbError("UD send requires a remote QP")
         self.sends_posted += 1
+        self._m_wrs.inc()
+        if wr.signaled:
+            self._m_signaled.inc()
+        if wr.span is None and self.sim.spans.enabled:
+            # No upper layer attached a span: trace this WR on its own
+            # (raw verbs paths — Fig. 2a reads, baseline RPCs).
+            wr.span = self.sim.spans.begin(
+                "wr.%s" % wr.verb.value, track="hw:%s" % self.node.name,
+                t=self.sim.now, bytes=wr.length, qpn=self.qpn)
         done = self.sim.event()
         self.sim.spawn(self._execute(wr, target, done), name="verb")
         return done
@@ -161,6 +174,7 @@ class QueuePair:
         if wr.signaled:
             self.send_cq.push(wc)
             self.node.rnic.cqes_generated += 1
+            self.node.rnic._m_cqes.inc()
 
     def _execute(
         self, wr: WorkRequest, target: "QueuePair", done: Event
@@ -176,6 +190,10 @@ class QueuePair:
             yield from self._do_atomic(wr, target, done)
         else:
             raise VerbError("cannot post %s" % verb)
+        if wr.span is not None:
+            # Covers auto-created WR spans and FLock message spans alike:
+            # the span ends when the verb completes at the initiator.
+            wr.span.finish(self.sim.now)
 
     def _do_send(
         self, wr: WorkRequest, target: "QueuePair", done: Event
@@ -184,6 +202,7 @@ class QueuePair:
         delivered = yield from self.fabric.transfer(
             self.node, target.node, wr.length, self.qpn, target.qpn,
             reliable=self.transport.reliable, jitter_ns=jitter,
+            span=wr.span,
         )
         if delivered:
             ok, _buf = target.recv_buffers.try_get()
@@ -201,6 +220,7 @@ class QueuePair:
                 ))
             else:
                 target.recv_drops += 1
+                target._m_recv_drops.inc()
         wc = Completion(wr_id=wr.wr_id, verb=Verb.SEND, byte_len=wr.length,
                         qpn=self.qpn)
         if self.transport.reliable:
@@ -227,6 +247,7 @@ class QueuePair:
         delivered = yield from self.fabric.transfer(
             self.node, target.node, wr.length, self.qpn, target.qpn,
             rkeys=(wr.rkey,), reliable=self.transport.reliable,
+            span=wr.span,
         )
         if delivered:
             sink = region.sink
@@ -264,13 +285,13 @@ class QueuePair:
         # Request: header-only frame to the responder.
         yield from self.fabric.transfer(
             self.node, target.node, _REQUEST_HEADER_BYTES, self.qpn, target.qpn,
-            rkeys=(wr.rkey,), reliable=True,
+            rkeys=(wr.rkey,), reliable=True, span=wr.span,
         )
         # Response: data-bearing frame back, executed by the remote RNIC
         # with zero remote-CPU involvement.
         yield from self.fabric.transfer(
             target.node, self.node, wr.length, target.qpn, self.qpn,
-            reliable=True,
+            reliable=True, span=wr.span,
         )
         value = region.words.get(wr.remote_addr) if wr.length <= 8 else None
         wc = Completion(wr_id=wr.wr_id, verb=Verb.READ, byte_len=wr.length,
@@ -291,7 +312,7 @@ class QueuePair:
             return
         yield from self.fabric.transfer(
             self.node, target.node, _REQUEST_HEADER_BYTES, self.qpn, target.qpn,
-            rkeys=(wr.rkey,), reliable=True,
+            rkeys=(wr.rkey,), reliable=True, span=wr.span,
         )
         lock = _atomic_lock(target.node, self.sim, wr.rkey, wr.remote_addr)
         yield lock.acquire()
@@ -306,7 +327,7 @@ class QueuePair:
             lock.release()
         yield from self.fabric.transfer(
             target.node, self.node, _ACK_BYTES, target.qpn, self.qpn,
-            reliable=True,
+            reliable=True, span=wr.span,
         )
         wc = Completion(wr_id=wr.wr_id, verb=wr.verb, byte_len=8,
                         payload=old, qpn=self.qpn)

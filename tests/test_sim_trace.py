@@ -41,7 +41,9 @@ class TestTracer:
             tracer.emit("e", i=i)
         assert len(tracer.events) == 2
         assert tracer.dropped == 3
-        assert tracer.count("e") == 5  # counts keep going
+        # Counts track *recorded* events: count() always matches of_kind().
+        assert tracer.count("e") == 2
+        assert tracer.count("e") == len(tracer.of_kind("e"))
 
     def test_between(self, sim):
         tracer = Tracer(sim)
@@ -104,6 +106,18 @@ class TestTimeSeries:
         lines = csv_text.strip().splitlines()
         assert lines[0] == "t,a,b"
         assert len(lines) == 3
+
+    def test_csv_duplicate_timestamps(self, sim):
+        # Two samples of the same series at one instant must both appear.
+        series = TimeSeries(sim, interval_ns=50)
+        series.samples["a"].extend([(100.0, 1.0), (100.0, 2.0), (200.0, 3.0)])
+        series.samples["b"].append((100.0, 9.0))
+        lines = series.to_csv().strip().splitlines()
+        assert lines[0] == "t,a,b"
+        assert lines[1] == "100.0,1.0,9.0"
+        assert lines[2] == "100.0,2.0,"
+        assert lines[3] == "200.0,3.0,"
+        assert len(lines) == 4
 
     def test_bad_interval(self, sim):
         with pytest.raises(ValueError):
