@@ -8,9 +8,9 @@ outstanding requests (paper: 1.56 -> ~1.7 -> ~2 requests per message).
 
 import pytest
 
-from repro.harness import MicrobenchConfig, run_flock
+from repro.harness import MicrobenchConfig, run_flock, scorecard_fig10
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 OUTSTANDING = [1, 4, 8]
 
@@ -48,6 +48,7 @@ def test_fig10_table(benchmark, results):
          "reqs/message"],
         rows,
     )
+    record_scorecard(scorecard_fig10(results))
 
 
 def test_coalescing_always_wins_here(benchmark, results):

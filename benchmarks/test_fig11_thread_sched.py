@@ -21,9 +21,10 @@ from repro.config import ClusterConfig, FlockConfig
 from repro.flock import FlockNode
 from repro.net import build_cluster
 from repro.sim import Simulator, summarize_latencies
+from repro.harness import scorecard_fig11
 from repro.workloads import BimodalSize
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 LARGE_SIZES = [512, 768, 1024]
 THREADS = 32
@@ -114,6 +115,7 @@ def test_fig11_table(benchmark, results):
          "mixed QPs off", "mixed QPs on"],
         rows,
     )
+    record_scorecard(scorecard_fig11(results))
 
 
 def test_scheduler_separates_size_classes(benchmark, results):

@@ -15,9 +15,9 @@ and 368 clients while using half the QPs.
 
 import pytest
 
-from repro.harness import MicrobenchConfig, run_flock, run_rc
+from repro.harness import MicrobenchConfig, run_flock, run_rc, scorecard_fig12
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 CLIENT_COUNTS = [23, 46, 92, 184, 368]
 N_NODES = 23
@@ -73,6 +73,7 @@ def test_fig12_table(benchmark, results):
          "2t/2QP p99 us"],
         rows,
     )
+    record_scorecard(scorecard_fig12(results))
 
 
 def test_single_thread_saturates(benchmark, results):

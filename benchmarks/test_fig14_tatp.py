@@ -9,9 +9,9 @@ thread counts (the paper omits its 32-thread numbers for that reason).
 
 import pytest
 
-from repro.harness import TxnBenchConfig, run_fasst_txn, run_flocktx
+from repro.harness import TxnBenchConfig, run_fasst_txn, run_flocktx, scorecard_fig14
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 THREADS = [1, 2, 4, 8, 16]
 
@@ -56,6 +56,7 @@ def test_fig14_table(benchmark, results):
          "FaSST med us", "FLockTX p99 us", "FaSST p99 us", "FaSST losses"],
         rows,
     )
+    record_scorecard(scorecard_fig14(results))
 
 
 def test_flocktx_keeps_scaling(benchmark, results):

@@ -9,9 +9,9 @@ and commit.  Claims: similar throughput up to 2 threads; FLockTX up to
 
 import pytest
 
-from repro.harness import TxnBenchConfig, run_fasst_txn, run_flocktx
+from repro.harness import TxnBenchConfig, run_fasst_txn, run_flocktx, scorecard_fig15
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 THREADS = [1, 2, 4, 8, 16]
 
@@ -57,6 +57,7 @@ def test_fig15_table(benchmark, results):
          "FLockTX abort rate"],
         rows,
     )
+    record_scorecard(scorecard_fig15(results))
 
 
 def test_flocktx_wins_at_high_threads(benchmark, results):

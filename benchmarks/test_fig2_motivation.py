@@ -10,9 +10,9 @@
 
 import pytest
 
-from repro.harness import run_raw_reads, run_ud_rpc
+from repro.harness import run_raw_reads, run_ud_rpc, scorecard_fig2a
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 QP_SWEEP = [22, 44, 88, 176, 352, 704, 1408, 2816]
 SENDER_SWEEP = [22, 88, 352, 1408, 2816]
@@ -35,6 +35,7 @@ def test_fig2a_rc_read_scaling(benchmark):
             for qps, r in results.items()]
     record_table("Fig 2(a): RDMA read (RC) throughput vs #QPs",
                  ["#QPs", "Mops", "QP cache miss ratio"], rows)
+    record_scorecard(scorecard_fig2a(results))
 
     mops = {qps: r.mops for qps, r in results.items()}
     best = max(mops.values())

@@ -12,9 +12,9 @@ thread.  Headline claims reproduced:
 
 import pytest
 
-from repro.harness import MicrobenchConfig, run_erpc, run_flock
+from repro.harness import MicrobenchConfig, run_erpc, run_flock, scorecards_fig6_7_8
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 THREADS = [1, 4, 8, 16, 32, 48]
 OUTSTANDING = [1, 4, 8]
@@ -57,6 +57,8 @@ def test_fig6_7_8_tables(benchmark, results):
              "eRPC med us", "FLock p99 us", "eRPC p99 us", "coalesce deg"],
             rows,
         )
+    for scorecard in scorecards_fig6_7_8(results):
+        record_scorecard(scorecard)
 
 
 def test_fig6_throughput_claims(benchmark, results):

@@ -10,9 +10,9 @@ nothing from sharing).
 
 import pytest
 
-from repro.harness import MicrobenchConfig, run_flock, run_rc
+from repro.harness import MicrobenchConfig, run_flock, run_rc, scorecard_fig9
 
-from conftest import record_table
+from conftest import record_scorecard, record_table
 
 THREADS = [1, 8, 16, 32, 48]
 
@@ -57,6 +57,7 @@ def test_fig9_table(benchmark, results):
          "FaRM-4 Mops", "FLock p99 us", "no-share p99 us"],
         rows,
     )
+    record_scorecard(scorecard_fig9(results))
 
 
 def test_parity_at_low_threads(benchmark, results):

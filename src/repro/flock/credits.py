@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Deque
 from collections import deque
 
+from ..obs import faults
 from ..sim import Event, Simulator
 
 __all__ = ["CreditState", "RenewRequest", "CreditGrant"]
@@ -55,6 +56,12 @@ class CreditState:
         self.renewals_requested = 0
         self.grants_received = 0
         self.declines_received = 0
+        #: Credit-conservation ledger for the end-of-run auditor:
+        #: issued (bootstrap batch + every grant/reactivation top-up)
+        #: must equal consumed + the credits still outstanding.
+        self.issued_total = batch
+        self.consumed_total = 0
+        sim.register_component(self)
 
     # -- consumption --------------------------------------------------------
 
@@ -62,6 +69,7 @@ class CreditState:
         """Take ``n`` credits if available."""
         if self.credits >= n:
             self.credits -= n
+            self.consumed_total += n
             return True
         return False
 
@@ -93,13 +101,17 @@ class CreditState:
             self.active = False
         else:
             self.grants_received += 1
-            self.credits += grant.credits
+            self.issued_total += grant.credits
+            if not (faults.ACTIVE and "credits.drop_refill" in faults.ACTIVE):
+                self.credits += grant.credits
         self._wake()
 
     def reactivate(self, credits: int) -> None:
         """QP scheduler re-activated this QP with a fresh credit batch."""
         self.active = True
-        self.credits = max(self.credits, credits)
+        if credits > self.credits:
+            self.issued_total += credits - self.credits
+            self.credits = credits
         self.renew_outstanding = False
         self._wake()
 

@@ -24,6 +24,7 @@ __all__ = [
     "RpcRequest",
     "RpcResponse",
     "CoalescedMessage",
+    "coalesced_overhead",
     "coalesced_size",
 ]
 
@@ -125,3 +126,16 @@ def coalesced_size(entry_sizes) -> int:
             raise ValueError("negative entry size")
         total += META_BYTES + size
     return total
+
+
+def coalesced_overhead(n_entries: int) -> int:
+    """Framing bytes of a coalesced message with ``n_entries`` requests.
+
+    ``coalesced_size(sizes) == coalesced_overhead(len(sizes)) + sum(sizes)``
+    by construction — the byte-conservation auditor leans on this
+    identity to reconcile the ``flock.message_bytes`` histogram against
+    the coalesced request/byte counters.
+    """
+    if n_entries < 0:
+        raise ValueError("negative entry count")
+    return HEADER_BYTES + CANARY_BYTES + META_BYTES * n_entries

@@ -24,7 +24,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..config import CpuConfig, FlockConfig
 from ..net.fabric import Fabric, Node
-from ..sim import Event, Simulator, Store, null_tracer
+from ..sim import Event, Simulator, Store, TrackedStore, null_tracer
 from ..verbs import (
     CompletionQueue,
     QueuePair,
@@ -137,7 +137,7 @@ class FlockServer:
         self.util = UtilizationTable()
         # One worker per core, one core reserved for the QP scheduler.
         self.n_workers = n_workers if n_workers is not None else max(1, len(node.cpu) - 1)
-        self._inboxes: List[Store] = [Store(sim) for _ in range(self.n_workers)]
+        self._inboxes: List[TrackedStore] = self._make_inboxes(self.n_workers)
         self._rings_per_worker = [0] * self.n_workers
         self._next_channel_rr = 0
         self.requests_handled = 0
@@ -167,8 +167,25 @@ class FlockServer:
         #: (the §9 multi-application extension).
         self.tenancy = None
         self._started = False
+        sim.register_component(self)
 
     # -- bootstrap -----------------------------------------------------------
+
+    def _make_inboxes(self, n: int) -> List[TrackedStore]:
+        """Worker inboxes with queue accounting when telemetry is live
+        (the Little's-law auditor treats them as the server queue)."""
+        track = self.sim.metrics.enabled
+        return [TrackedStore(self.sim, track=track,
+                             name="%s.inbox%d" % (self.node.name, i))
+                for i in range(n)]
+
+    def set_n_workers(self, n: int) -> None:
+        """Resize the worker pool (before :meth:`start`)."""
+        if self._started:
+            raise RuntimeError("cannot resize a started server")
+        self.n_workers = max(1, n)
+        self._inboxes = self._make_inboxes(self.n_workers)
+        self._rings_per_worker = [0] * self.n_workers
 
     def register_handler(self, rpc_id: int, handler: RpcHandler) -> None:
         """``fl_reg_handler``: install the function run for ``rpc_id``."""
@@ -484,6 +501,9 @@ class FlockClient:
         metrics = sim.metrics
         self._m_rpcs = metrics.counter("flock.client.rpcs")
         self._m_messages = metrics.counter("flock.client.messages")
+        self._m_rpcs_coalesced = metrics.counter("flock.client.rpcs_coalesced")
+        self._m_rpc_bytes_coalesced = metrics.counter(
+            "flock.client.rpc_bytes_coalesced")
         self._m_degree = metrics.histogram("flock.coalescing_degree")
         self._m_msg_bytes = metrics.histogram("flock.message_bytes")
         self._m_migrations = metrics.counter("flock.migrations")
@@ -495,6 +515,7 @@ class FlockClient:
         #: Thread scheduling can be disabled for the Fig. 11 ablation.
         self.thread_scheduling_enabled = True
         self._started = False
+        sim.register_component(self)
 
     # -- connection setup (fl_connect / fl_attach_mreg) ---------------------------
 
@@ -715,6 +736,9 @@ class FlockClient:
             msg.msg_id = channel.sender_view.allocate(msg.total_bytes)
             self._m_messages.inc()
             self._m_degree.observe(len(rpc_slots))
+            self._m_rpcs_coalesced.inc(len(rpc_slots))
+            self._m_rpc_bytes_coalesced.inc(
+                sum(s.request.size for s in rpc_slots))
             self._m_msg_bytes.observe(msg.total_bytes)
             t_post = self.sim.now
             if self.sim.spans.enabled:

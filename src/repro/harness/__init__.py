@@ -11,6 +11,16 @@ from .microbench import (
     run_rc,
     run_ud_rpc,
 )
+from .scorecards import (
+    scorecard_fig2a,
+    scorecard_fig9,
+    scorecard_fig10,
+    scorecard_fig11,
+    scorecard_fig12,
+    scorecard_fig14,
+    scorecard_fig15,
+    scorecards_fig6_7_8,
+)
 from .tables import format_table, print_table
 from .txnbench import TxnBenchConfig, build_txn_servers, run_fasst_txn, run_flocktx
 
@@ -33,4 +43,12 @@ __all__ = [
     "run_raw_reads",
     "run_rc",
     "run_ud_rpc",
+    "scorecard_fig2a",
+    "scorecard_fig9",
+    "scorecard_fig10",
+    "scorecard_fig11",
+    "scorecard_fig12",
+    "scorecard_fig14",
+    "scorecard_fig15",
+    "scorecards_fig6_7_8",
 ]

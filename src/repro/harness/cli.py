@@ -20,6 +20,19 @@ Observability flags (see ``docs/observability.md``)::
 ``ui.perfetto.dev``), ``--metrics`` dumps every counter/gauge/histogram
 (JSON, or CSV when the filename ends in ``.csv``), and ``--breakdown``
 prints the phase-level latency table aggregated over all traced spans.
+
+Auditing and paper-fidelity scorecards::
+
+    python -m repro.harness.cli --audit fig2a
+    python -m repro.harness.cli --scorecard out/ fig10
+    python -m repro.harness.cli bench-compare --current out/
+
+``--audit`` runs the end-of-run invariant auditors (Little's law, byte
+and CQE conservation, credit accounting, ...) after every experiment and
+raises on any violation.  ``--scorecard DIR`` writes a
+``BENCH_<figure>.json`` scorecard per figure; ``bench-compare`` diffs a
+directory of scorecards against the committed baselines in
+``benchmarks/baselines`` and exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -29,30 +42,66 @@ import os
 import sys
 from typing import List
 
-from ..obs import Telemetry, disable, enable, format_breakdown, write_chrome_trace
+from ..obs import (
+    Telemetry,
+    compare_dirs,
+    disable,
+    enable,
+    format_breakdown,
+    write_chrome_trace,
+)
+from ..obs.audit import AUDIT_ENV
 from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
 from .microbench import (
     MicrobenchConfig,
+    bench_scale,
     run_erpc,
     run_flock,
     run_raw_reads,
     run_rc,
     run_ud_rpc,
 )
+from .scorecards import (
+    scorecard_fig2a,
+    scorecard_fig9,
+    scorecard_fig10,
+    scorecard_fig12,
+    scorecard_fig14,
+    scorecards_fig6_7_8,
+)
 from .tables import print_table
 from .txnbench import TxnBenchConfig, run_fasst_txn, run_flocktx
+
+#: Default committed-baseline directory for ``bench-compare``.
+DEFAULT_BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "baselines")
+
+
+def _emit_scorecard(args, sc) -> None:
+    """Write a figure's scorecard when ``--scorecard DIR`` was given."""
+    if not getattr(args, "scorecard", None):
+        return
+    sc.meta["bench_scale"] = bench_scale()
+    path = sc.write(args.scorecard)
+    print("wrote scorecard: %s (%s)" % (path,
+                                        "PASS" if sc.passed else "FAIL"))
 
 
 def cmd_fig2a(args) -> None:
     """Fig 2(a): RC read scaling sweep."""
+    results = {}
     rows = []
     for qps in args.qps:
         result = run_raw_reads(qps, n_clients=args.clients,
                                outstanding_per_qp=2)
+        results[qps] = result
         rows.append([qps, round(result.mops, 2),
                      result.extras["qp_cache_miss"]])
     print_table("Fig 2(a): RC read throughput vs #QPs",
                 ["#QPs", "Mops", "cache miss"], rows)
+    _emit_scorecard(args, scorecard_fig2a(results))
 
 
 def cmd_fig2b(args) -> None:
@@ -68,6 +117,7 @@ def cmd_fig2b(args) -> None:
 
 def cmd_fig6(args) -> None:
     """Figs 6-8: FLock vs eRPC thread sweep."""
+    results = {}
     rows = []
     for threads in args.threads:
         cfg = MicrobenchConfig(n_clients=args.clients,
@@ -75,6 +125,8 @@ def cmd_fig6(args) -> None:
                                outstanding=args.outstanding)
         flock = run_flock(cfg)
         erpc = run_erpc(cfg)
+        results[("flock", args.outstanding, threads)] = flock
+        results[("erpc", args.outstanding, threads)] = erpc
         rows.append([threads, round(flock.mops, 2), round(erpc.mops, 2),
                      round(flock.median_us, 1), round(erpc.median_us, 1),
                      round(flock.p99_us, 1), round(erpc.p99_us, 1)])
@@ -82,25 +134,34 @@ def cmd_fig6(args) -> None:
                 % args.outstanding,
                 ["threads", "FLock Mops", "eRPC Mops", "FLock med",
                  "eRPC med", "FLock p99", "eRPC p99"], rows)
+    for sc in scorecards_fig6_7_8(results):
+        _emit_scorecard(args, sc)
 
 
 def cmd_fig9(args) -> None:
     """Fig 9: QP sharing approaches."""
+    results = {}
     rows = []
     for threads in args.threads:
         cfg = MicrobenchConfig(n_clients=args.clients,
                                threads_per_client=threads, outstanding=8)
+        results[("flock", threads)] = run_flock(cfg)
+        results[("nosharing", threads)] = run_rc(cfg, threads_per_qp=1)
+        results[("farm2", threads)] = run_rc(cfg, threads_per_qp=2)
+        results[("farm4", threads)] = run_rc(cfg, threads_per_qp=4)
         rows.append([threads,
-                     round(run_flock(cfg).mops, 2),
-                     round(run_rc(cfg, threads_per_qp=1).mops, 2),
-                     round(run_rc(cfg, threads_per_qp=2).mops, 2),
-                     round(run_rc(cfg, threads_per_qp=4).mops, 2)])
+                     round(results[("flock", threads)].mops, 2),
+                     round(results[("nosharing", threads)].mops, 2),
+                     round(results[("farm2", threads)].mops, 2),
+                     round(results[("farm4", threads)].mops, 2)])
     print_table("Fig 9: sharing approaches",
                 ["threads", "FLock", "no-share", "FaRM-2", "FaRM-4"], rows)
+    _emit_scorecard(args, scorecard_fig9(results))
 
 
 def cmd_fig10(args) -> None:
     """Fig 10: coalescing on/off."""
+    results = {}
     rows = []
     for outstanding in args.outstanding_list:
         cfg = MicrobenchConfig(n_clients=args.clients,
@@ -108,6 +169,8 @@ def cmd_fig10(args) -> None:
                                outstanding=outstanding)
         with_c = run_flock(cfg)
         without_c = run_flock(cfg, coalescing=False)
+        results[(True, outstanding)] = with_c
+        results[(False, outstanding)] = without_c
         rows.append([outstanding, round(without_c.mops, 2),
                      round(with_c.mops, 2),
                      round(with_c.mops / max(without_c.mops, 1e-9), 2),
@@ -115,21 +178,30 @@ def cmd_fig10(args) -> None:
     print_table("Fig 10: coalescing impact",
                 ["outstanding", "off Mops", "on Mops", "speedup",
                  "reqs/msg"], rows)
+    _emit_scorecard(args, scorecard_fig10(results))
 
 
 def cmd_fig14(args) -> None:
     """Figs 14/15: FLockTX vs FaSST transactions."""
+    results = {}
     rows = []
     for threads in args.threads:
         cfg = TxnBenchConfig(workload=args.workload,
                              threads_per_client=threads)
         flock = run_flocktx(cfg)
         fasst = run_fasst_txn(cfg)
+        results[("flocktx", threads)] = flock
+        results[("fasst", threads)] = fasst
         rows.append([threads, round(flock.mops, 3), round(fasst.mops, 3),
                      round(flock.p99_us, 1), round(fasst.p99_us, 1)])
     print_table("Figs 14/15: %s — FLockTX vs FaSST" % args.workload,
                 ["threads", "FLockTX Mtxn/s", "FaSST Mtxn/s",
                  "FLockTX p99", "FaSST p99"], rows)
+    builder = scorecard_fig14 if args.workload == "tatp" else None
+    if builder is None:
+        from .scorecards import scorecard_fig15
+        builder = scorecard_fig15
+    _emit_scorecard(args, builder(results))
 
 
 def cmd_fig11(args) -> None:
@@ -154,6 +226,7 @@ def cmd_fig11(args) -> None:
 
 def cmd_fig12(args) -> None:
     """Fig 12: node scalability with increasing client processes."""
+    results = {}
     rows = []
     for total in args.clients_list:
         procs = max(1, total // args.nodes)
@@ -163,11 +236,14 @@ def cmd_fig12(args) -> None:
         one = run_flock(MicrobenchConfig(
             n_clients=args.nodes, processes_per_client=procs,
             threads_per_client=1, outstanding=8), qps_per_process=1)
+        results[("2t1q", total)] = shared
+        results[("1t1q", total)] = one
         rows.append([total, round(one.mops, 2), round(shared.mops, 2),
                      round(shared.p99_us, 1)])
     print_table("Fig 12: node scalability",
                 ["#clients", "1t/1QP Mops", "2t/1QP Mops", "2t/1QP p99 us"],
                 rows)
+    _emit_scorecard(args, scorecard_fig12(results))
 
 
 def cmd_fig16(args) -> None:
@@ -188,6 +264,13 @@ def cmd_fig16(args) -> None:
                  "eRPC get med"], rows)
 
 
+def cmd_bench_compare(args) -> int:
+    """Gate current scorecards against committed baselines."""
+    report = compare_dirs(args.baseline, args.current, figures=args.figures)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree: one subcommand per experiment."""
     parser = argparse.ArgumentParser(
@@ -204,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--breakdown", action="store_true",
                         help="print the phase-level latency breakdown "
                              "after the experiment")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the end-of-run invariant auditors after "
+                             "every experiment (fails on any violation)")
+    parser.add_argument("--scorecard", metavar="DIR", default=None,
+                        help="write BENCH_<figure>.json paper-fidelity "
+                             "scorecards into DIR")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig2a", help="RC read scaling (Fig 2a)")
@@ -257,6 +346,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=22)
     p.set_defaults(fn=cmd_fig16)
 
+    p = sub.add_parser("bench-compare",
+                       help="compare BENCH_*.json scorecards against "
+                            "committed baselines (exit 1 on regression)")
+    p.add_argument("--baseline", default=DEFAULT_BASELINE_DIR,
+                   help="baseline scorecard directory "
+                        "(default: benchmarks/baselines)")
+    p.add_argument("--current", required=True,
+                   help="directory of freshly generated scorecards")
+    p.add_argument("--figures", nargs="+", default=None,
+                   help="restrict the comparison to these figures")
+    p.set_defaults(fn=cmd_bench_compare)
+
     p = sub.add_parser("list", help="list available experiments")
     p.set_defaults(fn=lambda args: print("\n".join(
         sorted(c for c in sub.choices if c != "list"))))
@@ -269,10 +370,12 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.scale is not None:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    if args.audit:
+        os.environ[AUDIT_ENV] = "1"
     observing = bool(args.trace or args.metrics or args.breakdown)
     telemetry = enable(Telemetry()) if observing else None
     try:
-        args.fn(args)
+        rc = args.fn(args) or 0
     finally:
         disable()
     if telemetry is not None:
@@ -291,7 +394,7 @@ def main(argv: List[str] = None) -> int:
             with open(args.metrics, "w") as fh:
                 fh.write(text)
             print("wrote metrics snapshot: %s" % args.metrics)
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

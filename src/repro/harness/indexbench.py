@@ -24,7 +24,12 @@ from ..flock import FlockNode
 from ..net import build_cluster
 from ..sim import Simulator, Streams
 from .metrics import Recorder, RunResult
-from .microbench import _install_telemetry, bench_scale
+from .microbench import (
+    _finish_audit,
+    _install_telemetry,
+    _prepare_audit,
+    bench_scale,
+)
 
 __all__ = ["IndexBenchConfig", "run_flock_index", "run_erpc_index"]
 
@@ -102,10 +107,12 @@ def _results(recorders: Dict[str, Recorder], sim: Simulator,
 
 def run_flock_index(cfg: IndexBenchConfig,
                     flock_cfg: Optional[FlockConfig] = None,
-                    telemetry=None) -> Dict[str, RunResult]:
+                    telemetry=None,
+                    audit: Optional[bool] = None) -> Dict[str, RunResult]:
     """90 % get / 10 % scan over FLock RPC."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "flock-index")
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     if flock_cfg is None:
@@ -143,14 +150,18 @@ def run_flock_index(cfg: IndexBenchConfig,
                           name="hydra-worker")
 
     _run(sim, cfg, recorders)
-    return _results(recorders, sim, "flock", telemetry=tel,
-                    server_cpu=round(servers[0].cpu.utilization(), 3))
+    out = _results(recorders, sim, "flock", telemetry=tel,
+                   server_cpu=round(servers[0].cpu.utilization(), 3))
+    _finish_audit(audited, sim, audit_reg, out["get"])
+    return out
 
 
-def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None) -> Dict[str, RunResult]:
+def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None,
+                   audit: Optional[bool] = None) -> Dict[str, RunResult]:
     """90 % get / 10 % scan over eRPC."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "erpc-index")
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     index = build_index(cfg)
@@ -191,5 +202,7 @@ def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None) -> Dict[str, RunRes
                           name="hydra-worker")
 
     _run(sim, cfg, recorders)
-    return _results(recorders, sim, "erpc", telemetry=tel,
-                    server_cpu=round(servers[0].cpu.utilization(), 3))
+    out = _results(recorders, sim, "erpc", telemetry=tel,
+                   server_cpu=round(servers[0].cpu.utilization(), 3))
+    _finish_audit(audited, sim, audit_reg, out["get"])
+    return out

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..sim import Simulator, summarize_latencies
+from ..sim import Simulator, percentile, summarize_latencies
 
 __all__ = ["Recorder", "RunResult"]
 
@@ -52,13 +52,12 @@ class Recorder:
 
     def cdf_us(self, points: int = 20):
         """Latency CDF as (percentile, µs) pairs — Figs. 7/8-style curves."""
-        from ..sim import percentile as pct
         if points < 2:
             raise ValueError("need at least two CDF points")
         if not self.latencies_ns:
             return []
         ordered = sorted(self.latencies_ns)
-        return [(p, pct(ordered, p) / 1e3)
+        return [(p, percentile(ordered, p) / 1e3)
                 for p in (i * 100.0 / (points - 1) for i in range(points))]
 
 
@@ -73,6 +72,9 @@ class RunResult:
     #: The :class:`repro.obs.Telemetry` active during the run (None when
     #: observability was not enabled) — holds spans and metric values.
     telemetry: Optional[object] = field(default=None, repr=False)
+    #: End-of-run :class:`repro.obs.AuditReport` (None unless the run
+    #: was audited via ``--audit`` / ``REPRO_AUDIT`` / ``audit=True``).
+    audit_report: Optional[object] = field(default=None, repr=False)
 
     @property
     def mops(self) -> float:

@@ -27,7 +27,13 @@ from ..baselines import (
 from ..config import ClusterConfig, FlockConfig
 from ..flock import FlockNode
 from ..net import build_cluster
-from ..obs import current_telemetry
+from ..obs import (
+    AuditError,
+    Registry,
+    audit_enabled,
+    current_telemetry,
+    run_audit,
+)
 from ..sim import Simulator
 from ..workloads import FixedSize
 from .metrics import Recorder, RunResult
@@ -99,6 +105,38 @@ def _install_telemetry(sim: Simulator, telemetry, label: str):
     return tel
 
 
+def _prepare_audit(sim: Simulator, tel, audit: Optional[bool]):
+    """Decide whether to audit this run, *before* the cluster is built.
+
+    Returns ``(audited, registry)``.  The registry handed back is the one
+    safe to cross-check against this sim's structural counters — None
+    when the installed registry accumulated earlier runs (its counters
+    are cumulative per registry, so only a fresh one is comparable).
+    When auditing without telemetry, a bare :class:`repro.obs.Registry`
+    is installed so counter cross-checks still run (no span overhead).
+    """
+    audited = audit if audit is not None else audit_enabled()
+    if not audited:
+        return False, None
+    if getattr(sim.metrics, "enabled", False):
+        fresh = tel is None or len(getattr(tel, "runs", ())) <= 1
+        return True, (sim.metrics if fresh else None)
+    registry = Registry()
+    sim.metrics = registry
+    return True, registry
+
+
+def _finish_audit(audited: bool, sim: Simulator, registry,
+                  result: RunResult) -> RunResult:
+    """Run the end-of-run auditors and attach the report; raises
+    :class:`repro.obs.AuditError` on any violation."""
+    if audited:
+        result.audit_report = run_audit(sim, registry)
+        if not result.audit_report.ok:
+            raise AuditError(result.audit_report)
+    return result
+
+
 def _echo_handler(resp_size: int, handler_ns: float):
     def handler(request):
         return resp_size, None, handler_ns
@@ -118,10 +156,11 @@ def _run_window(sim: Simulator, recorder: Recorder, warmup: float,
 def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
               coalescing: bool = True, thread_scheduling: bool = True,
               flock_cfg: Optional[FlockConfig] = None,
-              telemetry=None) -> RunResult:
+              telemetry=None, audit: Optional[bool] = None) -> RunResult:
     """Closed-loop echo RPCs over FLock."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "flock")
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     if flock_cfg is None:
@@ -176,17 +215,19 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
         events=sim.events_processed,
     )
     result.telemetry = tel
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)
 
 
 # ---------------------------------------------------------------------------
 # eRPC (Figs. 6-8, 16-18 baseline)
 # ---------------------------------------------------------------------------
 
-def run_erpc(cfg: MicrobenchConfig, *, telemetry=None) -> RunResult:
+def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
+             audit: Optional[bool] = None) -> RunResult:
     """Closed-loop echo RPCs over the eRPC-like UD baseline."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "erpc")
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = ErpcServer(sim, servers[0], fabric)
@@ -229,7 +270,7 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None) -> RunResult:
         events=sim.events_processed,
     )
     result.telemetry = tel
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)
 
 
 # ---------------------------------------------------------------------------
@@ -237,7 +278,7 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None) -> RunResult:
 # ---------------------------------------------------------------------------
 
 def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
-           telemetry=None) -> RunResult:
+           telemetry=None, audit: Optional[bool] = None) -> RunResult:
     """Closed-loop echo RPCs over RC write-based RPC without coalescing.
 
     ``threads_per_qp=1`` is the dedicated-QP (no sharing) config;
@@ -245,6 +286,7 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
     """
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "rc-%dtpq" % threads_per_qp)
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = RcRpcServer(sim, servers[0], fabric)
@@ -285,7 +327,7 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
         events=sim.events_processed,
     )
     result.telemetry = tel
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)
 
 
 # ---------------------------------------------------------------------------
@@ -297,10 +339,11 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                   warmup_ns: float = 200_000.0,
                   measure_ns: float = 300_000.0,
                   cluster: Optional[ClusterConfig] = None,
-                  telemetry=None) -> RunResult:
+                  telemetry=None, audit: Optional[bool] = None) -> RunResult:
     """16-byte RDMA reads over an increasing number of QPs."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "rc-read qps=%d" % total_qps)
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     region = servers[0].memory.register(1 << 20)
@@ -332,7 +375,7 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                            "pcie_reads": servers[0].rnic.pcie.reads_issued,
                        },
                        telemetry=tel)
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)
 
 
 def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
@@ -340,10 +383,11 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
                outstanding: int = 2, warmup_ns: float = 200_000.0,
                measure_ns: float = 300_000.0,
                cluster: Optional[ClusterConfig] = None,
-               telemetry=None) -> RunResult:
+               telemetry=None, audit: Optional[bool] = None) -> RunResult:
     """UD-based RPC with an increasing number of senders."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "ud-rpc n=%d" % n_senders)
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = UdRpcServer(sim, servers[0], fabric)
@@ -380,4 +424,4 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
         events=sim.events_processed,
     )
     result.telemetry = tel
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)

@@ -1,0 +1,316 @@
+"""Scorecard builders: one per reproduced paper figure.
+
+Each builder condenses a figure's sweep (the same result dictionaries
+the benchmark suite produces) into a :class:`repro.obs.Scorecard` —
+headline metrics with regression tolerances plus the figure's
+qualitative *shape checks* (Fig. 2a's cliff past the QP-cache size,
+Fig. 10's coalescing speedup growing with outstanding requests, ...).
+
+Builders degrade gracefully: metrics and checks are only emitted for
+sweep points actually present, so the CLI's reduced sweeps and the
+benchmark suite's full sweeps both produce valid scorecards.  Only the
+full-sweep scorecards are meant to be committed as baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..obs import Scorecard
+
+__all__ = [
+    "scorecard_fig2a",
+    "scorecards_fig6_7_8",
+    "scorecard_fig9",
+    "scorecard_fig10",
+    "scorecard_fig11",
+    "scorecard_fig12",
+    "scorecard_fig14",
+    "scorecard_fig15",
+]
+
+
+def scorecard_fig2a(results: Dict[int, object],
+                    qp_cache_entries: int = 560) -> Scorecard:
+    """Fig. 2(a): RC read throughput rises, plateaus around the QP-cache
+    size, then collapses as the connection cache thrashes."""
+    sc = Scorecard("fig2a", "RC read throughput vs #QPs")
+    mops = {qps: r.mops for qps, r in results.items()}
+    lo, hi = min(mops), max(mops)
+    best = max(mops.values())
+    peak_qps = max(mops, key=mops.get)
+    sc.add_metric("peak_mops", best, better="higher", unit="Mops")
+    sc.add_metric("peak_qps", peak_qps, better="info")
+    sc.add_metric("rise_ratio", best / max(mops[lo], 1e-9),
+                  better="higher", rtol=0.10)
+    sc.add_metric("collapse_ratio", mops[hi] / max(best, 1e-9),
+                  better="lower", rtol=0.10)
+    plateau = [qps for qps, m in mops.items() if m >= 0.95 * best]
+    if 176 in mops and 704 in mops:
+        sc.add_check("plateau_covers_paper_window",
+                     176 in plateau and 704 in plateau and max(plateau) <= 704,
+                     "throughput peaks between 176 and 704 QPs")
+    sc.add_check("rises_from_low_end", best > 1.3 * mops[lo],
+                 "few QPs cannot saturate the RNIC")
+    if hi > qp_cache_entries:
+        sc.add_check("cliff_past_qp_cache", mops[hi] < 0.55 * best,
+                     "collapse once the sweep passes the %d-entry QP cache"
+                     % qp_cache_entries)
+        miss = {qps: r.extras.get("qp_cache_miss", 0.0)
+                for qps, r in results.items()}
+        sc.add_check("collapse_is_cache_thrash",
+                     miss[hi] > miss[peak_qps],
+                     "miss ratio grows from peak to collapse")
+    return sc
+
+
+def scorecards_fig6_7_8(results: Dict[tuple, object]) -> List[Scorecard]:
+    """Figs. 6/7/8: FLock vs eRPC throughput / median / tail latency.
+
+    ``results`` is keyed ``(system, outstanding, threads)`` like the
+    benchmark sweep.
+    """
+    outs = sorted({k[1] for k in results})
+    threads = sorted({k[2] for k in results})
+    o_lo, t_hi = outs[0], threads[-1]
+
+    fig6 = Scorecard("fig6", "FLock vs eRPC throughput")
+    flock_hi = results[("flock", o_lo, t_hi)]
+    erpc_hi = results[("erpc", o_lo, t_hi)]
+    fig6.add_metric("flock_mops_t%d" % t_hi, flock_hi.mops,
+                    better="higher", unit="Mops")
+    fig6.add_metric("erpc_mops_t%d" % t_hi, erpc_hi.mops,
+                    better="info", unit="Mops")
+    fig6.add_metric("flock_over_erpc_t%d" % t_hi,
+                    flock_hi.mops / max(erpc_hi.mops, 1e-9),
+                    better="higher", rtol=0.10)
+    if 16 in threads and 48 in threads:
+        for o in outs:
+            fig6.add_check(
+                "erpc_saturates_o%d" % o,
+                results[("erpc", o, 48)].mops
+                < 1.2 * results[("erpc", o, 16)].mops,
+                "eRPC 48-thread throughput barely above 16-thread")
+        fig6.add_check(
+            "flock_keeps_scaling",
+            results[("flock", o_lo, 48)].mops
+            > 1.3 * results[("flock", o_lo, 16)].mops,
+            "FLock scales 16 -> 48 threads")
+        for o in outs:
+            fig6.add_check(
+                "flock_wins_o%d" % o,
+                all(results[("flock", o, t)].mops
+                    > 1.2 * results[("erpc", o, t)].mops
+                    for t in (16, 32, 48) if t in threads),
+                "paper's 1.25-3.4x band at high thread counts")
+
+    fig7 = Scorecard("fig7", "FLock vs eRPC median latency")
+    fig8 = Scorecard("fig8", "FLock vs eRPC tail latency")
+    t_ref = 32 if 32 in threads else t_hi
+    flock32 = results[("flock", o_lo, t_ref)]
+    erpc32 = results[("erpc", o_lo, t_ref)]
+    fig7.add_metric("flock_median_us_t%d" % t_ref, flock32.median_us,
+                    better="lower", unit="us")
+    fig7.add_metric("erpc_over_flock_median_t%d" % t_ref,
+                    erpc32.median_us / max(flock32.median_us, 1e-9),
+                    better="higher", rtol=0.15)
+    fig7.add_check("erpc_median_degrades",
+                   erpc32.median_us > 1.6 * flock32.median_us,
+                   "paper: ~2x worse eRPC median at 32 threads")
+    fig8.add_metric("flock_p99_us_t%d" % t_ref, flock32.p99_us,
+                    better="lower", unit="us")
+    fig8.add_metric("erpc_over_flock_p99_t%d" % t_ref,
+                    erpc32.p99_us / max(flock32.p99_us, 1e-9),
+                    better="higher", rtol=0.15)
+    fig8.add_check("erpc_tail_degrades",
+                   erpc32.p99_us > 1.2 * flock32.p99_us,
+                   "paper: ~1.5x worse eRPC p99 at 32 threads")
+    return [fig6, fig7, fig8]
+
+
+def scorecard_fig9(results: Dict[tuple, object]) -> Scorecard:
+    """Fig. 9: QP-sharing approaches, keyed ``(system, threads)``."""
+    sc = Scorecard("fig9", "QP sharing approaches")
+    threads = sorted({k[1] for k in results})
+    t_hi = threads[-1]
+    flock = results[("flock", t_hi)]
+    nosh = results[("nosharing", t_hi)]
+    sc.add_metric("flock_mops_t%d" % t_hi, flock.mops,
+                  better="higher", unit="Mops")
+    sc.add_metric("flock_over_nosharing_t%d" % t_hi,
+                  flock.mops / max(nosh.mops, 1e-9),
+                  better="higher", rtol=0.10)
+    for t in (1, 8):
+        if ("flock", t) in results:
+            sc.add_check(
+                "parity_at_%d_threads" % t,
+                results[("flock", t)].mops
+                > 0.8 * results[("nosharing", t)].mops,
+                "FLock matches no-sharing at low thread counts")
+    if ("flock", 32) in results:
+        sc.add_check("flock_wins_at_32",
+                     results[("flock", 32)].mops
+                     > 1.30 * results[("nosharing", 32)].mops,
+                     "paper: +62% at 32 threads")
+    if ("flock", 48) in results:
+        sc.add_check("flock_wins_at_48",
+                     results[("flock", 48)].mops
+                     > 1.50 * results[("nosharing", 48)].mops,
+                     "paper: +133% at 48 threads")
+    for t in (32, 48):
+        if ("farm2", t) in results:
+            sc.add_check(
+                "spinlock_no_better_t%d" % t,
+                results[("farm2", t)].mops
+                < 1.25 * results[("nosharing", t)].mops
+                and results[("farm4", t)].mops
+                < 1.25 * results[("nosharing", t)].mops,
+                "FaRM-like sharing performs like no sharing")
+    return sc
+
+
+def scorecard_fig10(results: Dict[tuple, object]) -> Scorecard:
+    """Fig. 10: coalescing on/off, keyed ``(coalescing, outstanding)``."""
+    sc = Scorecard("fig10", "Coalescing impact")
+    outs = sorted({k[1] for k in results})
+
+    def speedup(o):
+        return (results[(True, o)].mops
+                / max(results[(False, o)].mops, 1e-9))
+
+    o_lo, o_hi = outs[0], outs[-1]
+    sc.add_metric("speedup_o%d" % o_lo, speedup(o_lo),
+                  better="higher", rtol=0.10)
+    sc.add_metric("speedup_o%d" % o_hi, speedup(o_hi),
+                  better="higher", rtol=0.10)
+    sc.add_metric("coalesce_mops_o%d" % o_hi, results[(True, o_hi)].mops,
+                  better="higher", unit="Mops")
+    sc.add_metric(
+        "degree_o%d" % o_hi,
+        results[(True, o_hi)].extras.get("mean_coalescing_degree", 1.0),
+        better="equal", rtol=0.20, unit="reqs/msg")
+    sc.add_check("coalescing_always_wins",
+                 all(speedup(o) > 1.02 for o in outs),
+                 "coalescing never loses")
+    sc.add_check("speedup_grows_with_outstanding",
+                 speedup(o_hi) > speedup(o_lo),
+                 "paper: 1.4x at 1 outstanding -> 1.7x at 8 (crossover)")
+    if o_hi >= 8:
+        sc.add_check("substantial_win_at_depth",
+                     speedup(o_hi) > 1.4,
+                     "paper's ~1.7x at 8 outstanding")
+        degrees = [results[(True, o)].extras.get("mean_coalescing_degree",
+                                                 1.0) for o in outs]
+        sc.add_check("degree_grows", degrees[-1] > degrees[0]
+                     and degrees[0] > 1.1 and degrees[-1] > 1.5,
+                     "requests per message grow with outstanding")
+    return sc
+
+
+def scorecard_fig11(results: Dict[tuple, object]) -> Scorecard:
+    """Fig. 11: thread scheduling, keyed ``(large_size, scheduling)``
+    with per-class summary dicts (the benchmark's ``run_point`` shape)."""
+    sc = Scorecard("fig11", "Sender-side thread scheduling")
+    sizes = sorted({k[0] for k in results})
+    s_hi = sizes[-1]
+    off, on = results[(s_hi, False)], results[(s_hi, True)]
+    sc.add_metric("large_median_ratio_%dB" % s_hi,
+                  on["large"]["median"] / max(off["large"]["median"], 1e-9),
+                  better="lower", rtol=0.15)
+    sc.add_metric("mops_ratio_%dB" % s_hi,
+                  on["mops"] / max(off["mops"], 1e-9),
+                  better="higher", rtol=0.10)
+    sc.add_metric("mixed_qps_on_%dB" % s_hi, on["mixed_qps"],
+                  better="lower", atol=4)
+    sc.add_check("separates_size_classes",
+                 all(results[(s, True)]["mixed_qps"]
+                     < results[(s, False)]["mixed_qps"] / 2 for s in sizes),
+                 "Algorithm 1 packs size classes onto disjoint QPs")
+    sc.add_check("large_escapes_head_of_line",
+                 all(results[(s, True)]["large"]["median"]
+                     < 0.7 * results[(s, False)]["large"]["median"]
+                     for s in sizes),
+                 "large requests stop queueing behind combining pipelines")
+    sc.add_check("throughput_not_sacrificed",
+                 all(results[(s, True)]["mops"]
+                     > 0.85 * results[(s, False)]["mops"] for s in sizes),
+                 "scheduling costs at most a modest slice of throughput")
+    return sc
+
+
+def scorecard_fig12(results: Dict[tuple, object]) -> Scorecard:
+    """Fig. 12: node scalability, keyed ``(config, total_clients)`` with
+    configs ``1t1q`` / ``2t1q`` / ``2t2q``."""
+    sc = Scorecard("fig12", "Node scalability")
+    totals = sorted({k[1] for k in results})
+    c_hi = totals[-1]
+    shared = results[("2t1q", c_hi)]
+    dedicated = results.get(("2t2q", c_hi))
+    sc.add_metric("shared_mops_c%d" % c_hi, shared.mops,
+                  better="higher", unit="Mops")
+    if dedicated is not None:
+        sc.add_metric("shared_over_dedicated_c%d" % c_hi,
+                      shared.mops / max(dedicated.mops, 1e-9),
+                      better="higher", rtol=0.10)
+    if ("1t1q", 92) in results and ("1t1q", 368) in results:
+        sc.add_check("single_thread_saturates",
+                     results[("1t1q", 368)].mops
+                     < 1.35 * results[("1t1q", 92)].mops,
+                     "no coalescing means no further scaling")
+    compare = [t for t in (92, 184, 368) if ("2t2q", t) in results]
+    if compare:
+        wins = sum(1 for t in compare
+                   if results[("2t1q", t)].mops
+                   > 1.05 * results[("2t2q", t)].mops)
+        sc.add_check("shared_qp_beats_dedicated", wins >= len(compare) - 1,
+                     "paper: +10-30% with half the QPs")
+    return sc
+
+
+def _txn_scorecard(figure: str, title: str, results: Dict[tuple, object],
+                   win_threads, win_ratio: float,
+                   tail_thread: int) -> Scorecard:
+    sc = Scorecard(figure, title)
+    threads = sorted({k[1] for k in results})
+    t_hi = threads[-1]
+    flock = results[("flocktx", t_hi)]
+    fasst = results[("fasst", t_hi)]
+    sc.add_metric("flocktx_mtxn_t%d" % t_hi, flock.mops,
+                  better="higher", unit="Mtxn/s")
+    sc.add_metric("flocktx_over_fasst_t%d" % t_hi,
+                  flock.mops / max(fasst.mops, 1e-9),
+                  better="higher", rtol=0.10)
+    sc.add_metric("flocktx_p99_t%d" % t_hi, flock.p99_us,
+                  better="lower", unit="us")
+    for t in win_threads:
+        if ("flocktx", t) in results:
+            sc.add_check(
+                "flocktx_wins_t%d" % t,
+                results[("flocktx", t)].mops
+                > win_ratio * results[("fasst", t)].mops,
+                "FLockTX ahead of FaSST by >= %.0f%%"
+                % ((win_ratio - 1) * 100))
+    t_tail = tail_thread if ("flocktx", tail_thread) in results else t_hi
+    sc.add_check("flocktx_tail_lower_t%d" % t_tail,
+                 results[("flocktx", t_tail)].p99_us
+                 < results[("fasst", t_tail)].p99_us,
+                 "FLockTX p99 below FaSST")
+    sc.add_check("transactions_commit",
+                 all(r.extras.get("committed", 0) > 0
+                     for r in results.values()),
+                 "every configuration commits work")
+    return sc
+
+
+def scorecard_fig14(results: Dict[tuple, object]) -> Scorecard:
+    """Fig. 14: TATP — FLockTX vs FaSST, keyed ``(system, threads)``."""
+    return _txn_scorecard("fig14", "TATP transactions", results,
+                          win_threads=(8, 16), win_ratio=1.4,
+                          tail_thread=16)
+
+
+def scorecard_fig15(results: Dict[tuple, object]) -> Scorecard:
+    """Fig. 15: Smallbank — FLockTX vs FaSST, keyed ``(system, threads)``."""
+    return _txn_scorecard("fig15", "Smallbank transactions", results,
+                          win_threads=(4, 8), win_ratio=1.15,
+                          tail_thread=1)

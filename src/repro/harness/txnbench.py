@@ -31,10 +31,15 @@ from ..baselines import FasstEndpoint, FasstServer
 from ..config import ClusterConfig, FlockConfig
 from ..flock import FlockNode
 from ..net import build_cluster
-from ..sim import Simulator, Store, Streams
+from ..sim import Simulator, Streams
 from ..workloads import SmallbankWorkload, TatpWorkload
 from .metrics import Recorder, RunResult
-from .microbench import _install_telemetry, bench_scale
+from .microbench import (
+    _finish_audit,
+    _install_telemetry,
+    _prepare_audit,
+    bench_scale,
+)
 
 __all__ = ["TxnBenchConfig", "run_flocktx", "run_fasst_txn", "build_txn_servers"]
 
@@ -148,10 +153,11 @@ def _result(recorder: Recorder, coordinators: List[Coordinator],
 
 def run_flocktx(cfg: TxnBenchConfig,
                 flock_cfg: Optional[FlockConfig] = None,
-                telemetry=None) -> RunResult:
+                telemetry=None, audit: Optional[bool] = None) -> RunResult:
     """FLockTX: the transaction protocol over FLock RPC + fl_read."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "flocktx")
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients,
                       n_servers=cfg.n_servers, seed=cfg.seed)
     server_hw, client_hw, fabric = build_cluster(sim, cluster)
@@ -166,10 +172,7 @@ def run_flocktx(cfg: TxnBenchConfig,
         # Paper §8.5.2: "each client and server use an equal number of
         # threads" — the server-side worker pool matches, for both
         # systems, rather than using every core.
-        fnode.server.n_workers = max(1, cfg.threads_per_client)
-        fnode.server._inboxes = [Store(sim)
-                                 for _ in range(fnode.server.n_workers)]
-        fnode.server._rings_per_worker = [0] * fnode.server.n_workers
+        fnode.server.set_n_workers(cfg.threads_per_client)
         txn_servers[s].bind(fnode.fl_reg_handler)
         flock_servers.append(fnode)
         version_rkeys[s] = txn_servers[s].primary.region.rkey
@@ -198,13 +201,15 @@ def run_flocktx(cfg: TxnBenchConfig,
     result = _result(recorder, coordinators, sim, system="flocktx",
                      server_cpu=round(server_hw[0].cpu.utilization(), 3))
     result.telemetry = tel
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)
 
 
-def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None) -> RunResult:
+def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None,
+                  audit: Optional[bool] = None) -> RunResult:
     """The same protocol over FaSST-style UD RPCs (two-sided only)."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "fasst")
+    audited, audit_reg = _prepare_audit(sim, tel, audit)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients,
                       n_servers=cfg.n_servers, seed=cfg.seed)
     server_hw, client_hw, fabric = build_cluster(sim, cluster)
@@ -239,4 +244,4 @@ def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None) -> RunResult:
                      server_cpu=round(server_hw[0].cpu.utilization(), 3),
                      recv_drops=sum(f.recv_drops for f in fasst_servers))
     result.telemetry = tel
-    return result
+    return _finish_audit(audited, sim, audit_reg, result)

@@ -37,6 +37,7 @@ class PcieLink:
         self._m_reads = metrics.counter("pcie.reads")
         self._m_stall_ns = metrics.counter("pcie.stall_ns")
         self._m_queue_ns = metrics.counter("pcie.queue_ns")
+        sim.register_component(self)
 
     @property
     def outstanding(self) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Generator, Iterable, Optional
 
 from ..config import NetConfig, NicConfig
+from ..obs import faults
 from ..obs.span import Span
 from ..sim import Event, Resource, Simulator, TokenBucket
 from .cache import LruCache
@@ -47,6 +48,10 @@ class Rnic:
         self.bytes_tx = 0
         self.packets_tx = 0
         self.cqes_generated = 0
+        #: CQE DMAs counted in ``cqes_generated`` whose DMA latency has
+        #: not elapsed yet (the CQ push happens right after it does) —
+        #: the slack term in the CQE-conservation invariant.
+        self.cqes_dma_pending = 0
         # Typed instruments (no-op singletons unless telemetry installed
         # on the simulator before construction).
         metrics = sim.metrics
@@ -70,6 +75,7 @@ class Rnic:
                           fn=lambda: self._tx_port.in_use, nic=name)
             metrics.gauge("rnic.pcie.outstanding",
                           fn=lambda: self.pcie.outstanding, nic=name)
+        sim.register_component(self)
 
     # -- wire-format helpers --------------------------------------------
 
@@ -101,6 +107,8 @@ class Rnic:
         """
         if self.qp_cache.access(("qp", qpn)):
             self._m_qp_hits.inc()
+            if faults.ACTIVE and "rnic.double_count_hit" in faults.ACTIVE:
+                self._m_qp_hits.inc()
             if span is not None:
                 span.bump("qp_hits")
         else:
@@ -180,7 +188,9 @@ class Rnic:
         request is unsignaled; §7 selective signaling)."""
         self.cqes_generated += 1
         self._m_cqes.inc()
+        self.cqes_dma_pending += 1
         yield self.sim.timeout(self.cfg.cqe_dma_ns)
+        self.cqes_dma_pending -= 1
 
     # -- reporting ---------------------------------------------------------
 

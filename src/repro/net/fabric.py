@@ -72,6 +72,7 @@ class Fabric:
                 fn=lambda: (self._m_wire_bytes.value
                             / (cfg.bandwidth_bytes_per_ns
                                * max(sim.now, 1.0))))
+        sim.register_component(self)
 
     def transfer(
         self,

@@ -17,10 +17,28 @@ Three pillars, all opt-in and near-zero-cost when disabled:
   as JSON/CSV, surfaced on the CLI as ``--trace`` / ``--metrics`` /
   ``--breakdown``.
 
+On top of the pillars sit the **auditors** (:mod:`repro.obs.audit`) —
+end-of-run invariant checks (Little's law per queue, byte/CQE/credit
+conservation, cache accounting) cross-validating structural component
+counters against the registry — and the **scorecards / bench store**
+(:mod:`repro.obs.scorecard`, :mod:`repro.obs.benchstore`): per-figure
+``BENCH_*.json`` fidelity records compared against committed baselines
+to gate CI on regressions.
+
 See ``docs/observability.md`` for the span model, metric names by layer,
 and CLI usage.
 """
 
+from . import faults
+from .audit import (
+    AuditContext,
+    AuditError,
+    AuditReport,
+    Violation,
+    audit_enabled,
+    run_audit,
+)
+from .benchstore import CompareReport, MetricDelta, compare_dirs, compare_scorecards
 from .export import chrome_trace, format_breakdown, write_chrome_trace
 from .registry import (
     Counter,
@@ -30,11 +48,27 @@ from .registry import (
     Registry,
     null_registry,
 )
+from .scorecard import Check, Metric, Scorecard, load_scorecard
 from .span import PHASES, NullSpanLog, Span, SpanLog, null_span_log
 from .telemetry import Telemetry, current_telemetry, disable, enable
 
 __all__ = [
+    "AuditContext",
+    "AuditError",
+    "AuditReport",
+    "Check",
+    "CompareReport",
     "Counter",
+    "Metric",
+    "MetricDelta",
+    "Scorecard",
+    "Violation",
+    "audit_enabled",
+    "compare_dirs",
+    "compare_scorecards",
+    "faults",
+    "load_scorecard",
+    "run_audit",
     "Gauge",
     "Histogram",
     "NullRegistry",

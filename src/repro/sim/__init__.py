@@ -11,7 +11,7 @@ from .core import (
     Timeout,
 )
 from .rand import HotColdGenerator, Streams, ZipfGenerator, percentile, summarize_latencies
-from .resources import Resource, SpinLock, Store, TokenBucket
+from .resources import Resource, SpinLock, Store, TokenBucket, TrackedStore
 from .trace import NullTracer, TimeSeries, Tracer, null_tracer
 
 __all__ = [
@@ -31,6 +31,7 @@ __all__ = [
     "TimeSeries",
     "Timeout",
     "TokenBucket",
+    "TrackedStore",
     "Tracer",
     "ZipfGenerator",
     "null_tracer",

@@ -305,6 +305,14 @@ class Simulator:
         self.metrics = null_registry
         #: Span log for per-RPC/per-message tracing; disabled by default.
         self.spans = null_span_log
+        #: Every instrumented component (RNICs, CQs, credit states, ...)
+        #: registers itself here at construction so the end-of-run
+        #: auditors (:mod:`repro.obs.audit`) can enumerate the system
+        #: without the simulation threading references around.
+        self.components: List[Any] = []
+        #: Heap pops that would move the clock backwards (always 0 with a
+        #: correct heap; the monotone-time auditor asserts it).
+        self.time_regressions = 0
 
     # -- scheduling ----------------------------------------------------
 
@@ -326,6 +334,10 @@ class Simulator:
         """Start a new process running ``gen``."""
         return Process(self, gen, name)
 
+    def register_component(self, component: Any) -> None:
+        """Record an instrumented component for end-of-run auditing."""
+        self.components.append(component)
+
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
@@ -344,6 +356,8 @@ class Simulator:
         if not self._heap:
             return False
         when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            self.time_regressions += 1
         self.now = when
         self._n_events += 1
         event._fire()

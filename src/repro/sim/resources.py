@@ -13,7 +13,7 @@ from typing import Any, Deque, Optional
 
 from .core import Event, SimulationError, Simulator
 
-__all__ = ["Resource", "Store", "SpinLock", "TokenBucket"]
+__all__ = ["Resource", "Store", "SpinLock", "TokenBucket", "TrackedStore"]
 
 
 class Resource:
@@ -152,6 +152,121 @@ class Store:
             self.items.append(put_item)
             put_ev.succeed()
         return True, item
+
+
+class TrackedStore(Store):
+    """A :class:`Store` that optionally keeps queueing-theory accounting.
+
+    When ``track`` is True the store maintains, in addition to the FIFO
+    itself:
+
+    * ``accepted`` / ``reaped`` — items that entered / left the queue,
+    * ``wait_ns`` — total time completed items spent queued,
+    * ``area`` — the time integral of queue depth (``∫ L(t) dt``),
+    * ``arrivals`` — entry timestamps of the items currently queued.
+
+    These give two *independent* accountings of the same queue: the area
+    integral accumulates depth × elapsed-time at every mutation, while
+    the per-item waits accumulate at departure.  Little's law ties them
+    together exactly — ``area == wait_ns + Σ residual waits`` — which the
+    end-of-run auditors verify per queue (CQs, server worker inboxes).
+
+    Items handed directly to a blocked getter never occupy the queue:
+    they count as accepted and reaped with zero wait.  Tracking is off by
+    default and the untracked paths delegate straight to :class:`Store`,
+    so the perf-guard's null-telemetry contract is unaffected.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None,
+                 track: bool = False, name: str = ""):
+        super().__init__(sim, capacity)
+        self.track = track
+        self.name = name
+        self.accepted = 0
+        self.reaped = 0
+        self.wait_ns = 0.0
+        self.area = 0.0
+        self.arrivals: Deque[float] = deque()
+        self._area_t = sim.now
+        if track:
+            # Surface the queue to the end-of-run auditors.
+            sim.register_component(self)
+
+    # -- accounting helpers ---------------------------------------------
+
+    def _tick(self) -> None:
+        """Integrate depth over the interval since the last mutation."""
+        now = self.sim.now
+        if now > self._area_t:
+            self.area += len(self.items) * (now - self._area_t)
+            self._area_t = now
+
+    def _sync_arrivals(self) -> None:
+        """Stamp arrivals for items a queued putter just slid in."""
+        while len(self.arrivals) < len(self.items):
+            self.arrivals.append(self.sim.now)
+            self.accepted += 1
+
+    def _note_pop(self) -> None:
+        self.wait_ns += self.sim.now - self.arrivals.popleft()
+        self.reaped += 1
+
+    def residual_wait_ns(self) -> float:
+        """Total wait accumulated so far by items still queued."""
+        now = self.sim.now
+        return sum(now - t for t in self.arrivals)
+
+    # -- tracked mutators ------------------------------------------------
+
+    def put(self, item: Any) -> Event:
+        if not self.track:
+            return super().put(item)
+        self._tick()
+        handed = bool(self._getters)
+        depth_before = len(self.items)
+        ev = super().put(item)
+        if handed:
+            self.accepted += 1
+            self.reaped += 1
+        elif len(self.items) > depth_before:
+            self.accepted += 1
+            self.arrivals.append(self.sim.now)
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        if not self.track:
+            return super().try_put(item)
+        self._tick()
+        handed = bool(self._getters)
+        ok = super().try_put(item)
+        if ok:
+            self.accepted += 1
+            if handed:
+                self.reaped += 1
+            else:
+                self.arrivals.append(self.sim.now)
+        return ok
+
+    def get(self) -> Event:
+        if not self.track:
+            return super().get()
+        self._tick()
+        had_item = bool(self.items)
+        ev = super().get()
+        if had_item:
+            self._note_pop()
+            self._sync_arrivals()
+        return ev
+
+    def try_get(self) -> tuple:
+        if not self.track:
+            return super().try_get()
+        self._tick()
+        ok, item = super().try_get()
+        if ok:
+            self._note_pop()
+            self._sync_arrivals()
+        return ok, item
 
 
 class TokenBucket:

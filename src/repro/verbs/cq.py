@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..sim import Event, Simulator, Store
+from ..sim import Event, Simulator, TrackedStore
 from .wr import Completion
 
 __all__ = ["CompletionQueue"]
@@ -24,14 +24,19 @@ class CompletionQueue:
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "cq"):
         self.sim = sim
         self.name = name
-        self._store = Store(sim, capacity)
+        metrics = sim.metrics
+        # Queueing-theory accounting (arrival times, depth-time integral)
+        # only when telemetry is live: the Little's-law auditor consumes
+        # it, the disabled path stays a plain Store.
+        self._store = TrackedStore(sim, capacity, track=metrics.enabled,
+                                   name=name)
         self.pushed = 0
         self.overflowed = 0
-        metrics = sim.metrics
         self._m_pushed = metrics.counter("verbs.cq.pushed")
         self._m_overflowed = metrics.counter("verbs.cq.overflowed")
         self._m_depth = metrics.histogram("verbs.cq.depth")
         self._m_poll_batch = metrics.histogram("verbs.cq.poll_batch")
+        sim.register_component(self)
 
     def __len__(self) -> int:
         return len(self._store)
@@ -64,3 +69,15 @@ class CompletionQueue:
     def wait_pop(self) -> Event:
         """Event yielding the next completion (blocking poller)."""
         return self._store.get()
+
+    # -- audit accounting (populated when telemetry is live) -------------
+
+    @property
+    def reaped(self) -> int:
+        """Completions that have left the queue (polled or handed off)."""
+        return self._store.reaped
+
+    @property
+    def queue_stats(self) -> Optional[TrackedStore]:
+        """The tracked backing store, or None when tracking is off."""
+        return self._store if self._store.track else None

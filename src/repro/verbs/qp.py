@@ -23,6 +23,7 @@ from typing import Generator, Optional
 
 from ..hw.memory import AccessError, MemoryRegion
 from ..net.fabric import Fabric, Node
+from ..obs import faults
 from ..sim import Event, Resource, Simulator, Store
 from .cq import CompletionQueue
 from .transport import Transport, Verb, max_message_size, supports
@@ -79,11 +80,13 @@ class QueuePair:
         self.recv_buffers = Store(sim)
         self.recv_drops = 0
         self.sends_posted = 0
+        self.sends_completed = 0
         self.destroyed = False
         metrics = sim.metrics
         self._m_wrs = metrics.counter("verbs.wrs_posted")
         self._m_signaled = metrics.counter("verbs.wrs_signaled")
         self._m_recv_drops = metrics.counter("verbs.recv_drops")
+        sim.register_component(self)
 
     # -- connection management ------------------------------------------
 
@@ -172,7 +175,8 @@ class QueuePair:
 
     def _push_send_cqe(self, wr: WorkRequest, wc: Completion) -> None:
         if wr.signaled:
-            self.send_cq.push(wc)
+            if not (faults.ACTIVE and "verbs.leak_cqe" in faults.ACTIVE):
+                self.send_cq.push(wc)
             self.node.rnic.cqes_generated += 1
             self.node.rnic._m_cqes.inc()
 
@@ -190,6 +194,7 @@ class QueuePair:
             yield from self._do_atomic(wr, target, done)
         else:
             raise VerbError("cannot post %s" % verb)
+        self.sends_completed += 1
         if wr.span is not None:
             # Covers auto-created WR spans and FLock message spans alike:
             # the span ends when the verb completes at the initiator.

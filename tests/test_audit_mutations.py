@@ -1,0 +1,103 @@
+"""Mutation tests: each auditor catches exactly the bug it guards.
+
+An invariant check that never fires is untested.  Here we seed three
+deliberate accounting bugs through :mod:`repro.obs.faults` — drop a
+credit refill, leak a CQE, double-count a QP-cache hit — and assert the
+matching auditor (and only that auditor) reports a violation, while an
+unmutated run stays clean.
+"""
+
+import pytest
+
+from repro.harness import MicrobenchConfig, run_flock
+from repro.obs import AuditError, faults
+
+CFG = MicrobenchConfig(n_clients=3, threads_per_client=4, outstanding=4,
+                       warmup_ns=150_000, measure_ns=150_000)
+
+
+def violating_auditors(fault_name):
+    """Run the microbenchmark with ``fault_name`` injected; return the
+    set of auditor names that reported violations."""
+    with faults.injected(fault_name):
+        with pytest.raises(AuditError) as excinfo:
+            run_flock(CFG, audit=True)
+    report = excinfo.value.report
+    return {v.auditor for v in report.violations}, report
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    yield
+    faults.clear()
+
+
+def test_baseline_is_clean():
+    assert not faults.ACTIVE
+    result = run_flock(CFG, audit=True)
+    assert result.audit_report.ok, result.audit_report.format()
+
+
+def test_dropped_credit_refill_trips_only_credit_auditor():
+    auditors, report = violating_auditors("credits.drop_refill")
+    assert auditors == {"credits"}, report.format()
+    assert any(v.invariant.startswith("flock.credits.conservation")
+               for v in report.violations)
+
+
+def test_leaked_cqe_trips_only_cqe_auditor():
+    auditors, report = violating_auditors("verbs.leak_cqe")
+    assert auditors == {"cqe-conservation"}, report.format()
+    v = report.violations[0]
+    # The NIC generated CQEs that never reached a completion queue.
+    assert v.observed > v.expected
+
+
+def test_double_counted_cache_hit_trips_only_qp_cache_auditor():
+    auditors, report = violating_auditors("rnic.double_count_hit")
+    assert auditors == {"qp-cache"}, report.format()
+    assert any("qp_cache.hits" in v.invariant for v in report.violations)
+
+
+class TestFaultHook:
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError):
+            faults.inject("no.such.fault")
+        assert not faults.ACTIVE
+
+    def test_injected_context_restores(self):
+        assert not faults.is_active("verbs.leak_cqe")
+        with faults.injected("verbs.leak_cqe"):
+            assert faults.is_active("verbs.leak_cqe")
+        assert not faults.is_active("verbs.leak_cqe")
+
+    def test_injected_clears_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.injected("verbs.leak_cqe"):
+                raise RuntimeError("boom")
+        assert not faults.ACTIVE
+
+    def test_clear_all(self):
+        faults.inject("verbs.leak_cqe")
+        faults.inject("credits.drop_refill")
+        faults.clear()
+        assert not faults.ACTIVE
+
+    def test_every_declared_fault_site_is_wired(self):
+        """Grep-level guard: each FAULT_NAMES entry appears in exactly
+        the module its prefix names, so a renamed site cannot silently
+        detach from its guard."""
+        import os
+
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        modules = {
+            "credits.drop_refill": os.path.join(root, "flock", "credits.py"),
+            "verbs.leak_cqe": os.path.join(root, "verbs", "qp.py"),
+            "rnic.double_count_hit": os.path.join(root, "hw", "rnic.py"),
+        }
+        assert set(modules) == set(faults.FAULT_NAMES)
+        for name, path in modules.items():
+            with open(path) as fh:
+                assert name in fh.read(), "%s not wired in %s" % (name, path)
