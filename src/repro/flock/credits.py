@@ -61,6 +61,11 @@ class CreditState:
         #: must equal consumed + the credits still outstanding.
         self.issued_total = batch
         self.consumed_total = 0
+        #: Blocked-on-credits accounting: completely-dry waits and the
+        #: total virtual time spent in them (causal wait edges are cut
+        #: per queued request by the leader, which knows the spans).
+        self.dry_waits = 0
+        self.wait_ns = 0.0
         sim.register_component(self)
 
     # -- consumption --------------------------------------------------------
@@ -90,6 +95,13 @@ class CreditState:
         """Event fired on the next grant (sender ran completely dry)."""
         ev = Event(self.sim)
         self._waiters.append(ev)
+        self.dry_waits += 1
+        t0 = self.sim.now
+
+        def _note(_ev: Event) -> None:
+            self.wait_ns += self.sim.now - t0
+
+        ev.add_callback(_note)
         return ev
 
     # -- grant handling ------------------------------------------------------

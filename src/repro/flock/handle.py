@@ -16,6 +16,7 @@ from ..sim import Event, Simulator
 from ..verbs import QueuePair, Verb
 from .credits import CreditState
 from .message import RpcRequest
+from .qp_scheduler import HoldLedger
 from .ringbuf import RingBuffer, SenderView
 from .tcq import CombiningQueue, PendingSend
 from .thread_scheduler import ThreadStats
@@ -143,6 +144,9 @@ class ConnectionHandle:
         #: Memory regions attached via fl_attach_mreg (rkey -> region).
         self.attached_mrs: Dict[int, Any] = {}
         self.rpcs_completed = 0
+        #: Deactivation windows per QP index — how long the receiver-side
+        #: QP scheduler held each channel (feeds ``qp_hold`` wait edges).
+        self.holds = HoldLedger()
 
     # -- threads ------------------------------------------------------------
 
@@ -172,6 +176,7 @@ class ConnectionHandle:
             active = [0]
             self.channels[0].active = True
             self.channels[0].credits.active = True
+            self.holds.release(0, self.sim.now)
         idx = self.thread_qp_map.get(thread_id)
         if idx is None or not self.channels[idx].active:
             idx = active[thread_id % len(active)]
@@ -193,14 +198,17 @@ class ConnectionHandle:
         """
         active_set = set(active)
         stranded: List[PendingSend] = []
+        now = self.sim.now
         for ch in self.channels:
             if ch.index in active_set:
                 if not ch.active:
                     ch.active = True
                     ch.credits.reactivate(credit_batch)
+                    self.holds.release(ch.index, now)
             elif ch.active:
                 ch.active = False
                 ch.credits.deactivate()
+                self.holds.hold(ch.index, now)
                 stranded.extend(ch.tcq.pending)
                 ch.tcq.pending.clear()
         return stranded

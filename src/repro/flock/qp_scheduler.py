@@ -18,9 +18,9 @@ applies it lives in :mod:`repro.flock.rpc`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Hashable, Mapping, Optional
 
-__all__ = ["UtilizationTable", "compute_allocation"]
+__all__ = ["HoldLedger", "UtilizationTable", "compute_allocation"]
 
 
 class UtilizationTable:
@@ -49,6 +49,46 @@ class UtilizationTable:
     def reset(self) -> None:
         for per_qp in self._table.values():
             per_qp.clear()
+
+
+class HoldLedger:
+    """Deactivation windows per QP — how long the scheduler held it.
+
+    When a redistribution (or a declined renewal) deactivates a QP,
+    requests already queued behind it are *held by the scheduler* until
+    the QP is re-activated or the requests migrate.  The ledger records
+    those windows so (a) the time shows up as ``qp_hold`` wait edges on
+    the affected RPC spans, and (b) total scheduler-induced hold time is
+    visible as a run statistic independent of tracing.
+    """
+
+    def __init__(self):
+        self._since: Dict[Hashable, float] = {}
+        self.holds = 0
+        self.total_hold_ns = 0.0
+
+    def hold(self, key: Hashable, now: float) -> None:
+        """Mark ``key`` (a QP identity) deactivated at ``now``; keeps the
+        original timestamp if the QP was already held."""
+        self._since.setdefault(key, now)
+
+    def held_since(self, key: Hashable) -> Optional[float]:
+        """Start of the current hold window, or None if not held."""
+        return self._since.get(key)
+
+    def release(self, key: Hashable, now: float) -> float:
+        """End the hold window; returns its length (0.0 if not held)."""
+        t0 = self._since.pop(key, None)
+        if t0 is None:
+            return 0.0
+        self.holds += 1
+        held = now - t0
+        self.total_hold_ns += held
+        return held
+
+    @property
+    def active_holds(self) -> int:
+        return len(self._since)
 
 
 def compute_allocation(

@@ -41,7 +41,7 @@ from .message import (
     RpcResponse,
     coalesced_size,
 )
-from .qp_scheduler import UtilizationTable, compute_allocation
+from .qp_scheduler import HoldLedger, UtilizationTable, compute_allocation
 from .ringbuf import RingBuffer, SenderView
 from .tcq import CombiningQueue, PendingSend
 from .thread_scheduler import assign_threads
@@ -158,6 +158,10 @@ class FlockServer:
         self._m_grants_declined = metrics.counter("flock.grants.declined")
         self._m_redistributions = metrics.counter("flock.redistributions")
         self._m_resp_degree = metrics.histogram("flock.response_degree")
+        #: Server-side view of scheduler holds: how long each (client,
+        #: qp) pair spent deactivated between redistributions.
+        self.hold_ledger = HoldLedger()
+        self._m_hold_ns = metrics.counter("flock.qp_hold_ns")
         if metrics.enabled:
             metrics.gauge("flock.active_qps",
                           fn=lambda: self.total_active_qps,
@@ -278,8 +282,9 @@ class FlockServer:
                     # message into this RPC's own trace, then record the
                     # time it waited between ring landing and worker pop.
                     if msg.span is not None:
-                        span.adopt(msg.span)
+                        span.adopt(msg.span, claim=True)
                     span.add_phase("server_queue", msg.arrived_ns, t_pop)
+                    span.wait("server_queue", msg.arrived_ns, t_pop)
                     span.open("server_handler", t_pop)
                 if self.handlers.get(request.rpc_id) is MANUAL_HANDLER:
                     self.manual_inbox.try_put((shandle, schannel, request))
@@ -324,17 +329,25 @@ class FlockServer:
             schannel.pending_grant = 0
         yield core.charge(self.cpu.header_build_ns + self.cpu.mmio_ns, "net-send")
         self._m_resp_degree.observe(len(responses))
+        t_post = self.sim.now
+        if self.sim.spans.enabled:
+            # Hardware-facing span for the response write; member RPC
+            # spans adopt its phases/waits at client-side dispatch so
+            # the response leg is attributable too.
+            rmsg.span = self.sim.spans.begin(
+                "flock.rsp", track="hw:%s" % self.node.name,
+                t=t_post, degree=len(responses), bytes=rmsg.total_bytes)
         for response in responses:
-            response.posted_ns = self.sim.now
+            response.posted_ns = t_post
             if response.span is not None:
                 # The response leg: server post → client-side completion.
-                response.span.open("response", self.sim.now)
+                response.span.open("response", t_post)
         schannel.posted_writes += 1
         signaled = schannel.posted_writes % max(1, self.cfg.signal_every) == 0
         schannel.server_qp.post_send(WorkRequest(
             verb=Verb.WRITE, length=rmsg.total_bytes,
             remote_addr=schannel.resp_addr, rkey=schannel.resp_rkey,
-            payload=rmsg, signaled=signaled,
+            payload=rmsg, signaled=signaled, span=rmsg.span,
         ))
         schannel.responses_sent += len(responses)
 
@@ -464,8 +477,17 @@ class FlockServer:
                                  before=len(shandle.active_set),
                                  after=len(new_set))
                 shandle.active_set = new_set
+                now = self.sim.now
                 for schannel in shandle.channels:
+                    was_active = schannel.active
                     schannel.active = schannel.index in new_set
+                    if was_active and not schannel.active:
+                        self.hold_ledger.hold((cid, schannel.index), now)
+                    elif schannel.active and not was_active:
+                        held = self.hold_ledger.release(
+                            (cid, schannel.index), now)
+                        if held > 0:
+                            self._m_hold_ns.inc(held)
                 update = ActiveSetUpdate(active_indices=new_set,
                                          credit_batch=self.cfg.credit_batch)
                 ctrl = shandle.channels[new_set[0]]
@@ -655,6 +677,20 @@ class FlockClient:
         if channel.tcq.enqueue(slot):
             self.sim.spawn(self._leader_cycles(handle, channel), name="flock-leader")
 
+    def _note_blocked(self, tcq, resource: str, t0: float) -> None:
+        """Record a leader-level stall (out of credits, no ring space) as
+        a wait edge on every request queued behind the leader.  Each
+        request is only charged from the moment it enqueued."""
+        if not self.sim.spans.enabled:
+            return
+        t1 = self.sim.now
+        if t1 <= t0:
+            return
+        for slot in tcq.pending:
+            span = getattr(slot.request, "span", None)
+            if span is not None:
+                span.wait(resource, max(t0, slot.enqueued_ns), t1)
+
     # -- FLock synchronization: the leader (§4.2) ------------------------------------
 
     def _leader_cycles(self, handle: ConnectionHandle,
@@ -671,7 +707,9 @@ class FlockClient:
             rpc_pending = any(isinstance(s.request, RpcRequest) for s in tcq.pending)
             if rpc_pending and channel.credits.credits == 0:
                 self._maybe_renew(handle, channel)
+                wait_t0 = self.sim.now
                 yield channel.credits.wait_for_credits()
+                self._note_blocked(tcq, "credit_wait", wait_t0)
                 continue
             if rpc_pending:
                 first = next(s for s in tcq.pending
@@ -681,8 +719,10 @@ class FlockClient:
                     # §4.1: the sender checks its cached copy of the
                     # remote Head and waits for free ring space
                     # (refreshed by heads piggybacked on responses).
+                    wait_t0 = self.sim.now
                     yield channel.sender_view.wait_for_space(self.sim,
                                                              first_bytes)
+                    self._note_blocked(tcq, "ring_space", wait_t0)
                     continue
             # The leader's combining window: while it sets up the header
             # and doorbell, concurrent followers copy their payloads into
@@ -814,6 +854,18 @@ class FlockClient:
             if self.tracer.enabled:
                 self.tracer.emit("migration", qp=channel.index,
                                  stranded=len(stranded))
+            if self.sim.spans.enabled:
+                # The time between the scheduler deactivating this QP and
+                # the migration is a scheduler-imposed hold on every
+                # stranded request.
+                now = self.sim.now
+                held_since = handle.holds.held_since(channel.index)
+                for slot in stranded:
+                    span = getattr(slot.request, "span", None)
+                    if span is not None:
+                        t0 = max(slot.enqueued_ns,
+                                 held_since if held_since is not None else now)
+                        span.wait("qp_hold", t0, now)
         for slot in stranded:
             thread_id = slot.request.thread_id
             new_channel = handle.qp_for_thread(thread_id)
@@ -845,6 +897,7 @@ class FlockClient:
                 channel.credits.on_grant(msg)
                 if msg.credits <= 0:
                     channel.active = False
+                    handle.holds.hold(channel.index, self.sim.now)
                     self._migrate_stranded(handle, channel)
                 continue
             if isinstance(msg, ActiveSetUpdate):
@@ -861,6 +914,11 @@ class FlockClient:
             for response in msg.entries:
                 span = response.span
                 if span is not None:
+                    if msg.span is not None:
+                        # Fold the response write's hardware phases and
+                        # waits into the RPC span (claimed, so the
+                        # message span is not double-counted).
+                        span.adopt(msg.span, claim=True)
                     span.close("response", t_done)
                     span.finish(t_done)
                 handle.complete_pending(response.thread_id, response.seq_id,

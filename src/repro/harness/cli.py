@@ -21,6 +21,19 @@ Observability flags (see ``docs/observability.md``)::
 (JSON, or CSV when the filename ends in ``.csv``), and ``--breakdown``
 prints the phase-level latency table aggregated over all traced spans.
 
+Causal critical-path attribution (``docs/observability.md``)::
+
+    python -m repro.harness.cli --attribution fig2a
+    python -m repro.harness.cli --attribution-json fig2a.attr.json fig2a
+    python -m repro.harness.cli --critical-path fig2a.folded fig2a
+
+``--attribution`` prints, per run, the blocked-time attribution table
+over every traced RPC's critical path plus the what-if speedup upper
+bound per resource.  ``--attribution-json`` writes the full report
+(paths, shares, what-if bounds) as JSON; ``--critical-path`` writes the
+critical paths as folded stacks for flamegraph.pl / speedscope (use
+``-`` or no filename for stdout).
+
 Auditing and paper-fidelity scorecards::
 
     python -m repro.harness.cli --audit fig2a
@@ -44,10 +57,15 @@ from typing import List
 
 from ..obs import (
     Telemetry,
+    attribute,
+    attribution_report,
     compare_dirs,
     disable,
     enable,
+    folded_stacks,
+    format_attribution,
     format_breakdown,
+    what_if_all,
     write_chrome_trace,
 )
 from ..obs.audit import AUDIT_ENV
@@ -264,6 +282,35 @@ def cmd_fig16(args) -> None:
                  "eRPC get med"], rows)
 
 
+def _emit_attribution(args, telemetry) -> None:
+    """Print per-run attribution tables and/or write the JSON report.
+
+    Runs with no traced critical paths (nothing finished, tracing off for
+    that runner) are skipped rather than printed empty.
+    """
+    report = {}
+    for run_id in sorted(telemetry.spans.run_labels):
+        label = telemetry.spans.run_labels[run_id]
+        paths = telemetry.critical_paths(run=run_id)
+        if not paths:
+            continue
+        if args.attribution:
+            print()
+            print(format_attribution(
+                attribute(paths), bounds=what_if_all(paths),
+                title="Critical-path attribution (%s)" % label))
+        if args.attribution_json:
+            report[label] = attribution_report(paths)
+    if args.attribution_json:
+        import json
+
+        with open(args.attribution_json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote attribution report: %s (%d runs)"
+              % (args.attribution_json, len(report)))
+
+
 def cmd_bench_compare(args) -> int:
     """Gate current scorecards against committed baselines."""
     report = compare_dirs(args.baseline, args.current, figures=args.figures)
@@ -287,6 +334,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--breakdown", action="store_true",
                         help="print the phase-level latency breakdown "
                              "after the experiment")
+    parser.add_argument("--attribution", action="store_true",
+                        help="print per-run critical-path attribution "
+                             "tables with what-if speedup bounds")
+    parser.add_argument("--attribution-json", metavar="FILE", default=None,
+                        help="write the full attribution report (paths, "
+                             "shares, what-if bounds) as JSON")
+    parser.add_argument("--critical-path", metavar="FILE", nargs="?",
+                        const="-", default=None,
+                        help="write critical paths as folded stacks for "
+                             "flamegraph.pl/speedscope (omit FILE or pass "
+                             "- for stdout)")
     parser.add_argument("--audit", action="store_true",
                         help="run the end-of-run invariant auditors after "
                              "every experiment (fails on any violation)")
@@ -372,7 +430,9 @@ def main(argv: List[str] = None) -> int:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
     if args.audit:
         os.environ[AUDIT_ENV] = "1"
-    observing = bool(args.trace or args.metrics or args.breakdown)
+    observing = bool(args.trace or args.metrics or args.breakdown
+                     or args.attribution or args.attribution_json
+                     or args.critical_path)
     telemetry = enable(Telemetry()) if observing else None
     try:
         rc = args.fn(args) or 0
@@ -383,6 +443,17 @@ def main(argv: List[str] = None) -> int:
             print()
             print(format_breakdown(telemetry.breakdown(),
                                    title="Latency breakdown (all spans)"))
+        if args.attribution or args.attribution_json:
+            _emit_attribution(args, telemetry)
+        if args.critical_path:
+            folded = folded_stacks(telemetry.critical_paths())
+            if args.critical_path == "-":
+                sys.stdout.write(folded)
+            else:
+                with open(args.critical_path, "w") as fh:
+                    fh.write(folded)
+                print("wrote folded stacks: %s (%d frames)"
+                      % (args.critical_path, len(folded.splitlines())))
         if args.trace:
             write_chrome_trace(telemetry.spans, args.trace)
             print("wrote Chrome trace: %s (%d spans)"

@@ -14,11 +14,13 @@ full-sweep scorecards are meant to be committed as baselines.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import math
+from typing import Dict, Iterable, List, Optional
 
-from ..obs import Scorecard
+from ..obs import Scorecard, attribute, what_if_all
 
 __all__ = [
+    "attach_attribution",
     "scorecard_fig2a",
     "scorecards_fig6_7_8",
     "scorecard_fig9",
@@ -28,6 +30,75 @@ __all__ = [
     "scorecard_fig14",
     "scorecard_fig15",
 ]
+
+
+def attach_attribution(sc: Scorecard, results: Iterable) -> None:
+    """Attach per-run critical-path attribution blocks to a scorecard.
+
+    For every distinct telemetry carried by the figure's results, each
+    traced run contributes ``sc.meta["attribution"][run_label]`` with
+    the number of critical paths, each resource's share of blocked time,
+    and the what-if speedup upper bound per resource.  Untraced runs
+    (``result.telemetry is None`` — the default benchmark path) leave
+    the scorecard untouched, so committed baselines only gain the block
+    when attribution was explicitly enabled.
+    """
+    seen = set()
+    blocks: Dict[str, dict] = {}
+    for result in results:
+        tel = getattr(result, "telemetry", None)
+        if tel is None or id(tel) in seen:
+            continue
+        seen.add(id(tel))
+        for run_id in sorted(tel.spans.run_labels):
+            label = tel.spans.run_labels[run_id]
+            paths = tel.critical_paths(run=run_id)
+            if not paths:
+                continue
+            table = attribute(paths)
+            blocks[label] = {
+                "paths": len(paths),
+                "shares": {res: round(cell["share"], 6)
+                           for res, cell in table.items()},
+                # inf (all blocked time on one resource) is not strict
+                # JSON; represent the unbounded case as None.
+                "what_if": {res: (None if math.isinf(x) else round(x, 4))
+                            for res, x in what_if_all(paths).items()},
+            }
+    if blocks:
+        sc.meta["attribution"] = blocks
+
+
+def _fig2a_attribution_check(sc: Scorecard, qps_points: List[int],
+                             qp_cache_entries: int) -> None:
+    """When traced at full scale, assert the attribution narrative: the
+    QP-cache PCIe stall is negligible before the cliff and the dominant
+    critical-path resource after it."""
+    from .microbench import bench_scale  # no cycle: microbench != scorecards
+
+    blocks = sc.meta.get("attribution")
+    if not blocks or bench_scale() != 1.0:
+        return
+
+    def shares_at(qps: int) -> Optional[Dict[str, float]]:
+        return blocks.get("rc-read qps=%d" % qps, {}).get("shares")
+
+    pre_pts = [q for q in qps_points if q <= qp_cache_entries // 2
+               and shares_at(q)]
+    post_pts = [q for q in qps_points if q > qp_cache_entries
+                and shares_at(q)]
+    if not pre_pts or not post_pts:
+        return
+    pre = shares_at(max(pre_pts))
+    post = shares_at(max(post_pts))
+    pcie_post = post.get("pcie_stall", 0.0)
+    sc.add_check(
+        "attribution_blames_qp_cache",
+        pre.get("pcie_stall", 0.0) < 0.05
+        and pcie_post > 0.35
+        and pcie_post == max(post.values()),
+        "pcie_stall <5%% of critical-path time at %d QPs, dominant "
+        "(>35%%) at %d QPs" % (max(pre_pts), max(post_pts)))
 
 
 def scorecard_fig2a(results: Dict[int, object],
@@ -61,6 +132,8 @@ def scorecard_fig2a(results: Dict[int, object],
         sc.add_check("collapse_is_cache_thrash",
                      miss[hi] > miss[peak_qps],
                      "miss ratio grows from peak to collapse")
+    attach_attribution(sc, results.values())
+    _fig2a_attribution_check(sc, sorted(mops), qp_cache_entries)
     return sc
 
 
@@ -125,6 +198,7 @@ def scorecards_fig6_7_8(results: Dict[tuple, object]) -> List[Scorecard]:
     fig8.add_check("erpc_tail_degrades",
                    erpc32.p99_us > 1.2 * flock32.p99_us,
                    "paper: ~1.5x worse eRPC p99 at 32 threads")
+    attach_attribution(fig6, results.values())
     return [fig6, fig7, fig8]
 
 
@@ -166,6 +240,7 @@ def scorecard_fig9(results: Dict[tuple, object]) -> Scorecard:
                 and results[("farm4", t)].mops
                 < 1.25 * results[("nosharing", t)].mops,
                 "FaRM-like sharing performs like no sharing")
+    attach_attribution(sc, results.values())
     return sc
 
 
@@ -204,6 +279,7 @@ def scorecard_fig10(results: Dict[tuple, object]) -> Scorecard:
         sc.add_check("degree_grows", degrees[-1] > degrees[0]
                      and degrees[0] > 1.1 and degrees[-1] > 1.5,
                      "requests per message grow with outstanding")
+    attach_attribution(sc, results.values())
     return sc
 
 
@@ -264,6 +340,7 @@ def scorecard_fig12(results: Dict[tuple, object]) -> Scorecard:
                    > 1.05 * results[("2t2q", t)].mops)
         sc.add_check("shared_qp_beats_dedicated", wins >= len(compare) - 1,
                      "paper: +10-30% with half the QPs")
+    attach_attribution(sc, results.values())
     return sc
 
 
@@ -299,6 +376,7 @@ def _txn_scorecard(figure: str, title: str, results: Dict[tuple, object],
                  all(r.extras.get("committed", 0) > 0
                      for r in results.values()),
                  "every configuration commits work")
+    attach_attribution(sc, results.values())
     return sc
 
 

@@ -30,7 +30,7 @@ class PcieLink:
             raise ValueError("negative PCIe latency")
         self.sim = sim
         self.read_latency_ns = read_latency_ns
-        self._slots = Resource(sim, capacity=max(1, slots))
+        self._slots = Resource(sim, capacity=max(1, slots), name="pcie_slots")
         self.reads_issued = 0
         self.busy_ns = 0.0
         metrics = sim.metrics
@@ -47,11 +47,21 @@ class PcieLink:
     def queued(self) -> int:
         return self._slots.queue_len
 
-    def read(self) -> Generator[Event, None, None]:
-        """Process-style: perform one PCIe read (state fetch)."""
+    def read(self, span=None) -> Generator[Event, None, None]:
+        """Process-style: perform one PCIe read (state fetch).
+
+        When ``span`` is given, the whole read — slot queueing plus the
+        fetch itself — is recorded as a ``pcie_stall`` wait edge for
+        critical-path attribution (the work the span traces cannot make
+        progress until the state arrives).  The edge is opened *before*
+        queueing so a read still stuck in the backlog when the run ends
+        attributes its in-flight wait when the span is flushed.
+        """
         self.reads_issued += 1
         self._m_reads.inc()
         queued_at = self.sim.now
+        if span is not None:
+            span.wait_begin("pcie_stall", queued_at)
         yield self._slots.acquire()
         try:
             self._m_queue_ns.inc(self.sim.now - queued_at)
@@ -60,3 +70,5 @@ class PcieLink:
             yield self.sim.timeout(self.read_latency_ns)
         finally:
             self._slots.release()
+        if span is not None:
+            span.wait_end("pcie_stall", self.sim.now)

@@ -39,7 +39,7 @@ class Rnic:
         self.qp_cache = LruCache(cfg.qp_cache_entries)
         self.mtt_cache = LruCache(cfg.mtt_cache_entries)
         self.pcie = PcieLink(sim, cfg.cache_miss_ns, cfg.miss_slots)
-        self._tx_port = Resource(sim, capacity=1)
+        self._tx_port = Resource(sim, capacity=1, name="tx_port")
         self._tx_bucket = TokenBucket(sim, cfg.message_rate, cfg.message_burst)
         self._rx_bucket = TokenBucket(sim, cfg.message_rate, cfg.message_burst)
         # Statistics.
@@ -116,7 +116,7 @@ class Rnic:
             if span is not None:
                 span.bump("qp_misses")
                 stall_t0 = self.sim.now
-                yield from self.pcie.read()
+                yield from self.pcie.read(span)
                 span.add_phase("pcie_stall", stall_t0, self.sim.now)
             else:
                 yield from self.pcie.read()
@@ -128,7 +128,7 @@ class Rnic:
                 if span is not None:
                     span.bump("mtt_misses")
                     stall_t0 = self.sim.now
-                    yield from self.pcie.read()
+                    yield from self.pcie.read(span)
                     span.add_phase("pcie_stall", stall_t0, self.sim.now)
                 else:
                     yield from self.pcie.read()
@@ -147,16 +147,19 @@ class Rnic:
         yield from self._lookup(qpn, rkeys, span)
         delay = self._tx_bucket.delay_for()
         if delay > 0:
+            if span is not None:
+                span.wait("nic_throttle", self.sim.now, self.sim.now + delay)
             yield self.sim.timeout(delay)
         wire = self.wire_time_ns(nbytes)
         port_t0 = self.sim.now
-        yield self._tx_port.acquire()
+        yield self._tx_port.acquire(span)
         try:
             if span is not None:
                 port_t1 = self.sim.now
                 if port_t1 > port_t0:
                     span.add_phase("tx_queue", port_t0, port_t1)
                 span.add_phase("wire", port_t1, port_t1 + wire)
+                span.wait("wire", port_t1, port_t1 + wire)
             yield self.sim.timeout(wire)
         finally:
             self._tx_port.release()
@@ -176,6 +179,8 @@ class Rnic:
         t0 = self.sim.now
         delay = self._rx_bucket.delay_for()
         if delay > 0:
+            if span is not None:
+                span.wait("nic_throttle", self.sim.now, self.sim.now + delay)
             yield self.sim.timeout(delay)
         yield from self._lookup(qpn, rkeys, span)
         self.messages_rx += 1

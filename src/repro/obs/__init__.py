@@ -39,6 +39,20 @@ from .audit import (
     run_audit,
 )
 from .benchstore import CompareReport, MetricDelta, compare_dirs, compare_scorecards
+from .causal import (
+    GAP_RESOURCE,
+    RESOURCES,
+    CriticalPath,
+    Segment,
+    attribute,
+    attribution_report,
+    critical_path,
+    critical_paths,
+    folded_stacks,
+    format_attribution,
+    what_if,
+    what_if_all,
+)
 from .export import chrome_trace, format_breakdown, write_chrome_trace
 from .registry import (
     Counter,
@@ -59,16 +73,28 @@ __all__ = [
     "Check",
     "CompareReport",
     "Counter",
+    "CriticalPath",
+    "GAP_RESOURCE",
     "Metric",
     "MetricDelta",
+    "RESOURCES",
     "Scorecard",
+    "Segment",
     "Violation",
+    "attribute",
+    "attribution_report",
     "audit_enabled",
     "compare_dirs",
     "compare_scorecards",
+    "critical_path",
+    "critical_paths",
     "faults",
+    "folded_stacks",
+    "format_attribution",
     "load_scorecard",
     "run_audit",
+    "what_if",
+    "what_if_all",
     "Gauge",
     "Histogram",
     "NullRegistry",

@@ -1,0 +1,338 @@
+"""Causal wait-graph analysis: critical paths, attribution, what-if.
+
+Phases (:mod:`repro.obs.span`) say where time was *spent*; wait edges
+say what the work was *blocked on*.  Every blocking interaction in the
+stack — credit exhaustion in ``flock/credits.py``, QP-scheduler holds
+tracked by ``flock/qp_scheduler.py``, QP/MTT cache-miss PCIe fetches in
+``hw/rnic.py``/``hw/pcie.py``, link serialisation and propagation in
+``net/fabric.py``, CQ-poll delay in ``verbs/cq.py``, server-side worker
+queueing in ``flock/rpc.py``, and generic ``sim/resources.py``
+acquisitions — records a typed ``(resource, t0, t1)`` edge on the span
+it delayed.  This module turns those edges into the answer to the one
+causal question every figure in the paper reduces to: *which resource
+gated the RPC?*
+
+* :func:`critical_path` walks one finished span backward from its end
+  through its longest waits-for chain, producing :class:`Segment`\\ s
+  that exactly tile ``[t0, t1]`` (uncovered time is attributed to
+  :data:`GAP_RESOURCE`, i.e. the CPU was making progress).
+* :func:`critical_paths` extracts a path per finished root span in a
+  :class:`~repro.obs.span.SpanLog` (donor spans whose intervals were
+  claimed by an adopter are skipped, so shared hardware time counts
+  once).
+* :func:`attribute` folds paths into a blocked-time attribution table
+  ``{resource: {count, total_ns, share, p99_ns}}`` whose shares sum to
+  exactly 1.
+* :func:`folded_stacks` exports paths in the collapsed-stack text
+  format ``flamegraph.pl`` and speedscope load directly.
+* :func:`what_if` zeroes one resource's critical-path contribution and
+  reports the upper-bound speedup removing it could unlock — e.g.
+  "removing ``pcie_stall`` waits bounds Fig. 2a post-cliff recovery at
+  2.9x".
+
+Like :mod:`repro.obs.span`, this module is import-cycle-free: it never
+imports the simulator (``sim/core.py`` imports ``repro.obs`` at class
+definition time), so it carries its own percentile helper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .span import Span
+
+__all__ = [
+    "GAP_RESOURCE",
+    "RESOURCES",
+    "Segment",
+    "CriticalPath",
+    "critical_path",
+    "critical_paths",
+    "attribute",
+    "folded_stacks",
+    "what_if",
+    "what_if_all",
+    "attribution_report",
+    "format_attribution",
+]
+
+#: Attribution bucket for critical-path time not covered by any wait
+#: edge: the work was progressing (CPU/NIC pipeline), not blocked.
+GAP_RESOURCE = "cpu"
+
+#: Canonical wait-edge resources in stack order, used to order tables.
+#: Producers are free to add more (e.g. ``resource:<name>`` generics).
+RESOURCES = (
+    "credit_wait",    # flock/credits.py — sender out of credits (§5.1)
+    "qp_hold",        # flock/rpc.py + qp_scheduler.py — QP deactivated
+    "ring_space",     # flock/rpc.py — receiver ring back-pressure (§4.1)
+    "server_queue",   # flock/rpc.py — ring landing → worker pop
+    "pcie_stall",     # hw/rnic.py + hw/pcie.py — QP/MTT miss DMA fetch
+    "nic_throttle",   # hw/rnic.py — NIC pipeline rate limiting
+    "tx_port",        # hw/rnic.py — shared TX port serialisation
+    "wire",           # hw/rnic.py — link-bandwidth serialisation
+    "propagation",    # net/fabric.py — switch hops + flight time
+    "cq_poll",        # verbs/cq.py — CQE ready → reaped by a poller
+    GAP_RESOURCE,
+)
+
+_RESOURCE_ORDER = {name: i for i, name in enumerate(RESOURCES)}
+
+
+def _percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolated percentile of an already sorted sequence.
+
+    Mirrors ``repro.sim.rand.percentile`` (kept local: importing the
+    simulator from ``repro.obs`` would create a cycle).
+    """
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = rank - lo
+    return sorted_values[lo] + (sorted_values[hi] - sorted_values[lo]) * frac
+
+
+class Segment:
+    """One contiguous stretch of a critical path, blamed on a resource."""
+
+    __slots__ = ("resource", "t0", "t1")
+
+    def __init__(self, resource: str, t0: float, t1: float):
+        self.resource = resource
+        self.t0 = t0
+        self.t1 = t1
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:
+        return "Segment(%s, %.0f..%.0f)" % (self.resource, self.t0, self.t1)
+
+
+class CriticalPath:
+    """The longest waits-for chain through one finished span.
+
+    ``segments`` are in time order and exactly tile ``[span.t0,
+    span.t1]``: every nanosecond of the span's latency is blamed on
+    exactly one resource (or :data:`GAP_RESOURCE` when nothing blocked
+    the work).
+    """
+
+    __slots__ = ("span", "segments")
+
+    def __init__(self, span: Span, segments: List[Segment]):
+        self.span = span
+        self.segments = segments
+
+    @property
+    def duration(self) -> float:
+        return self.span.duration
+
+    def resource_ns(self, resource: str) -> float:
+        """Total path time attributed to ``resource``."""
+        return sum(s.duration for s in self.segments
+                   if s.resource == resource)
+
+    def __repr__(self) -> str:
+        return "CriticalPath(%s, dur=%.0f, segments=%d)" % (
+            self.span.name, self.duration, len(self.segments))
+
+
+def _resource_rank(resource: str) -> Tuple[int, str]:
+    """Deterministic resource ordering: canonical stack order first,
+    unknown resources after, alphabetically."""
+    return (_RESOURCE_ORDER.get(resource, len(RESOURCES)), resource)
+
+
+def critical_path(span: Span, gap_resource: str = GAP_RESOURCE) -> CriticalPath:
+    """Extract the critical path of one finished span.
+
+    Backward-greedy walk: starting from the span's end, repeatedly pick
+    the wait edge that covers the cursor and reaches furthest back (the
+    *longest* waits-for chain); where no edge covers the cursor, emit a
+    gap segment back to the nearest earlier edge end.  Edges are clamped
+    to ``[t0, t1]``; edges recorded entirely outside the span (e.g. a
+    CQ-poll edge stamped after the initiator already finished the span)
+    are ignored.  The result tiles the span exactly, so per-resource
+    totals sum to the span's latency.
+    """
+    if span.t1 is None:
+        raise ValueError("critical_path needs a finished span: %r" % (span,))
+    t_begin, t_end = span.t0, span.t1
+    edges = [(res, max(t0, t_begin), min(t1, t_end))
+             for res, t0, t1 in span.edges]
+    edges = [e for e in edges if e[2] > e[1]]
+    segments: List[Segment] = []
+    cursor = t_end
+    while cursor > t_begin:
+        best = None
+        latest_end = t_begin  # nearest edge end strictly before cursor
+        for res, e0, e1 in edges:
+            if e0 < cursor <= e1:
+                # Edge covers the cursor; prefer the one reaching
+                # furthest back (the longest waits-for chain).
+                if (best is None or e0 < best[1]
+                        or (e0 == best[1]
+                            and _resource_rank(res) < _resource_rank(best[0]))):
+                    best = (res, e0, e1)
+            elif e1 <= cursor and e1 > latest_end:
+                latest_end = e1
+        if best is not None:
+            segments.append(Segment(best[0], best[1], cursor))
+            cursor = best[1]
+        else:
+            segments.append(Segment(gap_resource, latest_end, cursor))
+            cursor = latest_end
+    segments.reverse()
+    return CriticalPath(span, segments)
+
+
+def critical_paths(log, name: Optional[str] = None,
+                   run: Optional[int] = None) -> List[CriticalPath]:
+    """Critical paths for every finished root span in ``log``.
+
+    Donor spans (whose intervals another span claimed via
+    ``adopt(claim=True)``) are excluded — their wait time reappears on
+    the adopting RPC spans, and counting both would double-bill the
+    shared hardware waits.  ``name`` restricts to spans with that name;
+    ``run`` restricts to one run scope (``Span.pid``).
+    """
+    paths = []
+    for span in log.spans:
+        if span.t1 is None or span.is_donor:
+            continue
+        if name is not None and span.name != name:
+            continue
+        if run is not None and span.pid != run:
+            continue
+        paths.append(critical_path(span))
+    return paths
+
+
+def attribute(paths: Iterable[CriticalPath]) -> Dict[str, Dict[str, float]]:
+    """Fold critical paths into a blocked-time attribution table.
+
+    Returns ``{resource: {count, total_ns, share, p99_ns}}`` ordered by
+    descending share (ties broken by canonical resource order), where
+    ``share`` is the resource's fraction of all critical-path time —
+    shares sum to exactly 1 — and ``p99_ns`` is the 99th percentile of
+    individual segment durations.
+    """
+    durs: Dict[str, List[float]] = {}
+    for path in paths:
+        for seg in path.segments:
+            durs.setdefault(seg.resource, []).append(seg.duration)
+    grand = sum(sum(v) for v in durs.values())
+    out: Dict[str, Dict[str, float]] = {}
+    order = sorted(durs,
+                   key=lambda r: (-sum(durs[r]), _resource_rank(r)))
+    for resource in order:
+        values = sorted(durs[resource])
+        total = sum(values)
+        out[resource] = {
+            "count": len(values),
+            "total_ns": total,
+            "share": (total / grand) if grand else 0.0,
+            "p99_ns": _percentile(values, 99.0),
+        }
+    return out
+
+
+def folded_stacks(paths: Iterable[CriticalPath]) -> str:
+    """Collapsed-stack export: ``<span name>;<resource> <ns>`` lines.
+
+    The format ``flamegraph.pl`` and speedscope ingest directly; frames
+    are ``root span -> blocking resource``, weights are integer
+    nanoseconds of critical-path time.  Lines are sorted, so identical
+    runs produce byte-identical output.
+    """
+    weights: Dict[str, float] = {}
+    for path in paths:
+        prefix = path.span.name
+        for seg in path.segments:
+            key = "%s;%s" % (prefix, seg.resource)
+            weights[key] = weights.get(key, 0.0) + seg.duration
+    lines = ["%s %d" % (key, int(round(weights[key])))
+             for key in sorted(weights)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def what_if(paths: Sequence[CriticalPath], resource: str) -> Dict[str, float]:
+    """Upper-bound speedup from removing ``resource`` entirely.
+
+    Zeroes the resource's critical-path contribution: if the run spent
+    ``R`` ns of its ``T`` ns of critical-path time blocked on
+    ``resource``, a closed-loop workload could at best complete the same
+    work in ``T - R``, i.e. a throughput/latency improvement bounded by
+    ``T / (T - R)``.  An *upper* bound because the freed time may expose
+    the next bottleneck rather than convert fully into progress.
+    """
+    total = sum(p.duration for p in paths)
+    removed = sum(p.resource_ns(resource) for p in paths)
+    remaining = total - removed
+    if total <= 0.0:
+        bound = 1.0
+    elif remaining <= 0.0:
+        bound = math.inf
+    else:
+        bound = total / remaining
+    return {"resource_ns": removed, "total_ns": total,
+            "speedup_bound": bound}
+
+
+def what_if_all(paths: Sequence[CriticalPath]) -> Dict[str, float]:
+    """``{resource: speedup_bound}`` for every resource on the paths,
+    ordered like :func:`attribute` (descending contribution)."""
+    table = attribute(paths)
+    return {resource: what_if(paths, resource)["speedup_bound"]
+            for resource in table}
+
+
+def attribution_report(paths: Sequence[CriticalPath]) -> Dict[str, object]:
+    """JSON-ready bundle: path count, attribution table, what-if bounds."""
+    table = attribute(paths)
+    return {
+        "paths": len(paths),
+        "critical_path_ns": sum(p.duration for p in paths),
+        "attribution": table,
+        "what_if": what_if_all(paths),
+    }
+
+
+def format_attribution(table: Dict[str, Dict[str, float]],
+                       bounds: Optional[Dict[str, float]] = None,
+                       title: str = "Critical-path attribution") -> str:
+    """Human-readable attribution table (shares of critical-path time).
+
+    ``bounds`` (from :func:`what_if_all`) adds the upper-bound speedup
+    from removing each resource.
+    """
+    headers = ["resource", "count", "total us", "share", "p99 ns"]
+    if bounds is not None:
+        headers.append("what-if x")
+    rows = []
+    for resource, cell in table.items():
+        row = [resource,
+               "%d" % cell["count"],
+               "%.1f" % (cell["total_ns"] / 1000.0),
+               "%.1f%%" % (cell["share"] * 100.0),
+               "%.0f" % cell["p99_ns"]]
+        if bounds is not None:
+            bound = bounds.get(resource, 1.0)
+            row.append("inf" if math.isinf(bound) else "%.2f" % bound)
+        rows.append(row)
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i])
+                               for i in range(len(headers))))
+    return "\n".join(lines)

@@ -14,8 +14,15 @@ every figure runner without threading a parameter through each command:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
+from .causal import (
+    CriticalPath,
+    attribute,
+    critical_paths,
+    folded_stacks,
+    what_if_all,
+)
 from .registry import Registry
 from .span import SpanLog
 
@@ -35,20 +42,38 @@ class Telemetry:
         self.spans = SpanLog(max_spans=max_spans)
         #: Labels of the runs this telemetry has been installed on.
         self.runs = []
+        #: The most recently installed simulator — its clock gives the
+        #: truncation horizon when live spans are flushed.
+        self._sim = None
 
     def install(self, sim, label: str = "") -> "Telemetry":
         """Attach to ``sim`` (must precede component construction).
 
         Each installation opens a new run scope in the span log, so a
         sweep over several simulators exports as separate Chrome-trace
-        processes.  Returns self for chaining.
+        processes.  Spans left unfinished by the *previous* run (work
+        stuck on a saturated resource when its simulator stopped) are
+        flushed at that run's final clock first, so they land in the
+        right run scope with their in-flight waits closed.  Returns self
+        for chaining.
         """
+        self.flush()
         sim.metrics = self.registry
         sim.spans = self.spans
         run_label = label or ("run%d" % (len(self.runs) + 1))
         self.spans.new_run(run_label)
         self.runs.append(run_label)
+        self._sim = sim
         return self
+
+    def flush(self) -> int:
+        """Finish live spans at the current run's clock (see
+        :meth:`repro.obs.span.SpanLog.flush`).  Safe to call repeatedly;
+        the causal accessors call it so attribution always sees work
+        that was still blocked when the run ended."""
+        if self._sim is None:
+            return 0
+        return self.spans.flush(self._sim.now)
 
     def breakdown(self, name: Optional[str] = None) -> Dict[str, Dict[str, float]]:
         """Phase-level latency breakdown over all recorded spans."""
@@ -57,6 +82,34 @@ class Telemetry:
     def metrics_snapshot(self) -> Dict[str, Any]:
         """The registry snapshot (counters/gauges/histograms)."""
         return self.registry.snapshot()
+
+    # -- causal analysis (repro.obs.causal) -----------------------------
+
+    def critical_paths(self, name: Optional[str] = None,
+                       run: Optional[int] = None) -> List[CriticalPath]:
+        """Per-RPC critical paths over the recorded spans.
+
+        Flushes live spans first: RPCs still blocked when the run ended
+        are the ones most damaged by the bottleneck, and dropping them
+        would bias attribution *away* from the collapsed resource.
+        """
+        self.flush()
+        return critical_paths(self.spans, name=name, run=run)
+
+    def attribution(self, name: Optional[str] = None,
+                    run: Optional[int] = None) -> Dict[str, Dict[str, float]]:
+        """Blocked-time attribution table over critical paths."""
+        return attribute(self.critical_paths(name=name, run=run))
+
+    def what_if(self, name: Optional[str] = None,
+                run: Optional[int] = None) -> Dict[str, float]:
+        """Upper-bound speedup per resource if its waits were removed."""
+        return what_if_all(self.critical_paths(name=name, run=run))
+
+    def folded(self, name: Optional[str] = None,
+               run: Optional[int] = None) -> str:
+        """Folded-stack (flamegraph.pl / speedscope) text export."""
+        return folded_stacks(self.critical_paths(name=name, run=run))
 
 
 #: The CLI-installed telemetry runners fall back to (None = disabled).

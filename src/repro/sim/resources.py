@@ -28,13 +28,20 @@ class Resource:
             resource.release()
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.sim = sim
         self.capacity = capacity
+        #: Wait-edge resource label for causal attribution.
+        self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+        #: Acquires that found the resource full (always counted).
+        self.contended = 0
+        #: Cumulative contended-wait ns (only accumulated for traced
+        #: acquires, i.e. when a span was passed in).
+        self.wait_ns = 0.0
 
     @property
     def in_use(self) -> int:
@@ -44,14 +51,34 @@ class Resource:
     def queue_len(self) -> int:
         return len(self._waiters)
 
-    def acquire(self) -> Event:
-        """Event that fires once a unit of the resource is held."""
+    def acquire(self, span: Any = None) -> Event:
+        """Event that fires once a unit of the resource is held.
+
+        When contended and ``span`` is given, the wait is recorded on
+        the span as an *open* wait edge named after the resource (see
+        :meth:`repro.obs.span.Span.wait_begin`) and closed when the
+        acquisition succeeds — so an acquirer still queued when the span
+        is flushed at end of run keeps its in-flight wait.
+        """
         ev = Event(self.sim)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
         else:
             self._waiters.append(ev)
+            self.contended += 1
+            if span is not None:
+                t0 = self.sim.now
+                resource = self.name or "resource"
+                span.wait_begin(resource, t0)
+
+                def _note(_ev: Event) -> None:
+                    waited = self.sim.now - t0
+                    if waited > 0:
+                        self.wait_ns += waited
+                    span.wait_end(resource, self.sim.now)
+
+                ev.add_callback(_note)
         return ev
 
     def try_acquire(self) -> bool:
@@ -79,16 +106,16 @@ class SpinLock(Resource):
     "burn" shows up as serialization, which is the effect that matters.
     """
 
-    def __init__(self, sim: Simulator):
-        super().__init__(sim, capacity=1)
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
         self.contended_acquires = 0
         self.total_acquires = 0
 
-    def acquire(self) -> Event:
+    def acquire(self, span: Any = None) -> Event:
         self.total_acquires += 1
         if self._in_use >= self.capacity:
             self.contended_acquires += 1
-        return super().acquire()
+        return super().acquire(span)
 
 
 class Store:

@@ -47,11 +47,27 @@ class CompletionQueue:
             self.pushed += 1
             self._m_pushed.inc()
             self._m_depth.observe(len(self._store))
+            if self.sim.spans.enabled and wc.span is not None:
+                # Stamp CQ entry time; the reap side turns the residency
+                # into a ``cq_poll`` wait edge.  (Direct hand-off to a
+                # blocked getter stamps and reaps at the same instant,
+                # leaving no edge.)
+                wc._cq_t0 = self.sim.now
         else:
             # A real overflowed CQ moves the QP to an error state; for the
             # simulation, counting the overflow is enough for tests.
             self.overflowed += 1
             self._m_overflowed.inc()
+
+    def _note_reap(self, wc: Completion) -> None:
+        """Record how long the CQE sat before software picked it up."""
+        t0 = getattr(wc, "_cq_t0", None)
+        if t0 is not None and wc.span is not None:
+            wc.span.wait("cq_poll", t0, self.sim.now)
+
+    def _reap_cb(self, ev: Event) -> None:
+        if ev.ok and isinstance(ev.value, Completion):
+            self._note_reap(ev.value)
 
     def poll(self, max_entries: int = 16) -> List[Completion]:
         """Non-blocking reap of up to ``max_entries`` completions."""
@@ -64,11 +80,17 @@ class CompletionQueue:
         if out:
             # Completion batching: how many CQEs each successful poll reaps.
             self._m_poll_batch.observe(len(out))
+            if self.sim.spans.enabled:
+                for wc in out:
+                    self._note_reap(wc)
         return out
 
     def wait_pop(self) -> Event:
         """Event yielding the next completion (blocking poller)."""
-        return self._store.get()
+        ev = self._store.get()
+        if self.sim.spans.enabled:
+            ev.add_callback(self._reap_cb)
+        return ev
 
     # -- audit accounting (populated when telemetry is live) -------------
 

@@ -175,6 +175,10 @@ class QueuePair:
 
     def _push_send_cqe(self, wr: WorkRequest, wc: Completion) -> None:
         if wr.signaled:
+            if wc.span is None:
+                # Let the CQ blame reap delay on the traced work
+                # (``cq_poll`` wait edges).
+                wc.span = wr.span
             if not (faults.ACTIVE and "verbs.leak_cqe" in faults.ACTIVE):
                 self.send_cq.push(wc)
             self.node.rnic.cqes_generated += 1
@@ -221,7 +225,7 @@ class QueuePair:
                 target.recv_cq.push(Completion(
                     wr_id=wr.wr_id, verb=Verb.RECV, byte_len=wr.length,
                     payload=wr.payload, qpn=target.qpn,
-                    src=(self.node.name, self.qpn),
+                    src=(self.node.name, self.qpn), span=wr.span,
                 ))
             else:
                 target.recv_drops += 1
@@ -267,7 +271,7 @@ class QueuePair:
                 target.recv_cq.push(Completion(
                     wr_id=wr.wr_id, verb=Verb.WRITE_IMM, byte_len=wr.length,
                     payload=wr.payload, imm=wr.imm, qpn=target.qpn,
-                    src=(self.node.name, self.qpn),
+                    src=(self.node.name, self.qpn), span=wr.span,
                 ))
         wc = Completion(wr_id=wr.wr_id, verb=wr.verb, byte_len=wr.length,
                         qpn=self.qpn)

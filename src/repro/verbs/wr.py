@@ -77,6 +77,9 @@ class Completion:
     qpn: int = 0
     #: UD recv: source (node name, qpn) for replies.
     src: Any = None
+    #: Span of the work this completion finishes (for ``cq_poll`` wait
+    #: edges: time the CQE sat in the CQ before software reaped it).
+    span: Any = None
 
     @property
     def ok(self) -> bool:
