@@ -12,11 +12,30 @@ single constant without touching global state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 
-__all__ = ["NicConfig", "CpuConfig", "NetConfig", "FlockConfig", "ClusterConfig"]
+__all__ = [
+    "NicConfig",
+    "CpuConfig",
+    "CongestionConfig",
+    "NetConfig",
+    "FlockConfig",
+    "ClusterConfig",
+]
 
 GBPS = 1.0 / 8.0  # bytes per ns per Gbps
+
+#: Environment variables that opt harness runs into the switched-fabric
+#: congestion model (the CLI's ``--congestion`` / ``--pfc`` flags set
+#: them); resolved by :meth:`CongestionConfig.resolved`.
+CONGESTION_ENV = "REPRO_CONGESTION"
+PFC_ENV = "REPRO_PFC"
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in (
+        "", "0", "false", "no", "off")
 
 #: Paper Table 1 / §8.1: MTU used across all nodes.
 DEFAULT_MTU = 4096
@@ -92,6 +111,75 @@ class CpuConfig:
 
 
 @dataclass
+class CongestionConfig:
+    """Switched-fabric congestion model (RoCE on a shallow-buffer ToR).
+
+    Off by default: the contention-free point-to-point fabric is what
+    every committed figure baseline was calibrated against.  When
+    enabled, every transfer crosses a per-destination egress port with a
+    finite output buffer served at link rate; queue buildup triggers
+    ECN marking (RED-style) and a DCQCN rate limiter per RC QP, or —
+    with ``pfc`` — lossless PAUSE propagation with head-of-line blocking.
+    Thresholds are bytes of egress-queue depth.
+    """
+
+    enabled: bool = False
+    #: Per-egress-port output buffer (shallow ToR class, per port).
+    buffer_bytes: int = 131_072
+    #: RED/ECN marking ramp: mark probability rises linearly from 0 at
+    #: ``ecn_kmin_bytes`` to ``ecn_pmax`` at ``ecn_kmax_bytes`` (and is 1
+    #: beyond it) — the DCQCN paper's Kmin/Kmax/Pmax.  Pmax is small as
+    #: in real deployments: per-packet CNPs at queue depths the fabric
+    #: can absorb would collapse sender rates far below the port rate.
+    ecn_kmin_bytes: int = 32_768
+    ecn_kmax_bytes: int = 98_304
+    ecn_pmax: float = 0.05
+    #: Priority flow control: pause the upstream sender when a port
+    #: crosses ``pfc_xoff_bytes``, resume below ``pfc_xon_bytes``.
+    #: Lossless — the buffer stretches into headroom instead of dropping.
+    pfc: bool = False
+    pfc_xoff_bytes: int = 98_304
+    pfc_xon_bytes: int = 32_768
+    #: DCQCN sender reaction (per RC QP): rate cut on CNP, then fast
+    #: recovery / additive increase / hyper increase.  Timers are scaled
+    #: to the simulator's sub-millisecond measurement windows.
+    dcqcn_enabled: bool = True
+    #: EWMA gain for the congestion estimate alpha.
+    dcqcn_g: float = 1.0 / 16.0
+    #: Minimum gap between consecutive rate cuts.
+    dcqcn_rate_decrease_interval_ns: float = 8_000.0
+    #: Interval between rate-increase stages while no CNP arrives.
+    dcqcn_recovery_interval_ns: float = 4_000.0
+    #: Fast-recovery stages (Rc converges back toward Rt) before
+    #: additive increase begins.
+    dcqcn_fast_recovery_steps: int = 3
+    #: Additive / hyper rate-increase steps (bytes per ns).
+    dcqcn_rate_ai_bytes_per_ns: float = 5 * GBPS
+    dcqcn_rate_hai_bytes_per_ns: float = 25 * GBPS
+    #: Floor for the per-QP sending rate.
+    dcqcn_min_rate_bytes_per_ns: float = 1 * GBPS
+    #: When False, the ``REPRO_CONGESTION``/``REPRO_PFC`` environment
+    #: overrides are ignored — experiment runners that sweep congestion
+    #: on/off inside one process set this so CLI flags cannot leak into
+    #: their baseline legs.
+    honor_env: bool = True
+
+    def resolved(self) -> "CongestionConfig":
+        """Apply the CLI environment overrides (unless ``honor_env`` is
+        False): ``REPRO_CONGESTION=1`` enables the switch model,
+        ``REPRO_PFC=1`` additionally selects lossless PAUSE mode."""
+        if not self.honor_env:
+            return self
+        enabled = self.enabled or _env_truthy(CONGESTION_ENV)
+        pfc = self.pfc or _env_truthy(PFC_ENV)
+        if pfc:
+            enabled = True
+        if enabled == self.enabled and pfc == self.pfc:
+            return self
+        return replace(self, enabled=enabled, pfc=pfc)
+
+
+@dataclass
 class NetConfig:
     """Fabric model: 100 Gbps links through a single switch."""
 
@@ -103,6 +191,8 @@ class NetConfig:
     mtu: int = DEFAULT_MTU
     #: Jitter bound for UD packet delivery (models possible reordering).
     ud_jitter_ns: float = 120.0
+    #: Switched-fabric congestion model (default off: point-to-point).
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
 
 
 @dataclass

@@ -237,3 +237,25 @@ class ConnectionHandle:
         sent = sum(ch.tcq.messages_sent for ch in self.channels)
         reqs = sum(ch.tcq.requests_sent for ch in self.channels)
         return (reqs / sent) if sent else 1.0
+
+    def congestion_stats(self, fabric) -> dict:
+        """Per-channel DCQCN state for this handle's client-side QPs.
+
+        FLock's credit window and the fabric's rate limiter interact:
+        credits bound *outstanding requests* per QP while DCQCN bounds
+        the QP's *send rate*, so a throttled channel holds credits
+        longer and the coalescer naturally batches more per doorbell.
+        Empty when the congestion model (or DCQCN) is off.
+        """
+        if not getattr(fabric, "dcqcn_active", False):
+            return {}
+        stats = {}
+        for ch in self.channels:
+            key = (self.client_node.name, ch.client_qp.qpn)
+            state = fabric._dcqcn.get(key)
+            if state is None:
+                continue
+            snap = state.snapshot()
+            snap["credits_outstanding"] = ch.credits.credits
+            stats["qp%d" % ch.index] = snap
+        return stats

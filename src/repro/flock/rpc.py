@@ -724,6 +724,21 @@ class FlockClient:
                                                              first_bytes)
                     self._note_blocked(tcq, "ring_space", wait_t0)
                     continue
+            if rpc_pending and self.fabric.dcqcn_active:
+                # DCQCN pacing meets FLock synchronization: when the
+                # flow's rate was cut, the leader holds the doorbell for
+                # the pacing clearance with the combining queue still
+                # open — followers keep piling in, so congestion makes
+                # coalescing *deepen* (fewer, larger messages into the
+                # hot port) rather than throughput-collapse per message.
+                state = self.fabric.dcqcn_for(self.node.name,
+                                              channel.client_qp.qpn)
+                delay = state.clearance(self.sim.now)
+                if delay > 0:
+                    wait_t0 = self.sim.now
+                    yield self.sim.timeout(delay)
+                    self._note_blocked(tcq, "ecn_throttle", wait_t0)
+                    continue
             # The leader's combining window: while it sets up the header
             # and doorbell, concurrent followers copy their payloads into
             # the message (§4.2) — so the batch is taken AFTER the window,

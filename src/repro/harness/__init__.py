@@ -1,5 +1,6 @@
 """Experiment harness: per-figure runners, metrics, table formatting."""
 
+from .incastbench import IncastConfig, run_incast, run_incast_flock, run_incast_ud
 from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
 from .metrics import Recorder, RunResult
 from .microbench import (
@@ -19,12 +20,14 @@ from .scorecards import (
     scorecard_fig12,
     scorecard_fig14,
     scorecard_fig15,
+    scorecard_incast,
     scorecards_fig6_7_8,
 )
 from .tables import format_table, print_table
 from .txnbench import TxnBenchConfig, build_txn_servers, run_fasst_txn, run_flocktx
 
 __all__ = [
+    "IncastConfig",
     "IndexBenchConfig",
     "MicrobenchConfig",
     "Recorder",
@@ -40,6 +43,9 @@ __all__ = [
     "run_flock",
     "run_flock_index",
     "run_flocktx",
+    "run_incast",
+    "run_incast_flock",
+    "run_incast_ud",
     "run_raw_reads",
     "run_rc",
     "run_ud_rpc",
@@ -50,5 +56,6 @@ __all__ = [
     "scorecard_fig12",
     "scorecard_fig14",
     "scorecard_fig15",
+    "scorecard_incast",
     "scorecards_fig6_7_8",
 ]

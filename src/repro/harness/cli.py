@@ -46,6 +46,18 @@ raises on any violation.  ``--scorecard DIR`` writes a
 ``BENCH_<figure>.json`` scorecard per figure; ``bench-compare`` diffs a
 directory of scorecards against the committed baselines in
 ``benchmarks/baselines`` and exits nonzero on regression.
+
+Fabric congestion (``docs/network.md``)::
+
+    python -m repro.harness.cli --congestion fig6 --threads 8
+    python -m repro.harness.cli --congestion --pfc fig6 --threads 8
+    python -m repro.harness.cli --audit incast --senders 12
+
+``--congestion`` routes every transfer through the switched-fabric
+model (finite per-port egress buffers, ECN marking, DCQCN rate control
+on RC QPs); ``--pfc`` selects lossless PAUSE mode instead of tail drop.
+The ``incast`` experiment runs its own congestion sweep internally and
+ignores both flags for its baseline legs.
 """
 
 from __future__ import annotations
@@ -68,7 +80,9 @@ from ..obs import (
     what_if_all,
     write_chrome_trace,
 )
+from ..config import CONGESTION_ENV, PFC_ENV
 from ..obs.audit import AUDIT_ENV
+from .incastbench import IncastConfig, run_incast
 from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
 from .microbench import (
     MicrobenchConfig,
@@ -85,6 +99,7 @@ from .scorecards import (
     scorecard_fig10,
     scorecard_fig12,
     scorecard_fig14,
+    scorecard_incast,
     scorecards_fig6_7_8,
 )
 from .tables import print_table
@@ -282,6 +297,31 @@ def cmd_fig16(args) -> None:
                  "eRPC get med"], rows)
 
 
+def cmd_incast(args) -> None:
+    """Extension: N→1 incast degradation under the congestion model."""
+    cfg = IncastConfig(n_senders=args.senders,
+                       threads_per_client=args.threads,
+                       outstanding=args.outstanding)
+    if args.pfc_incast:
+        from dataclasses import replace
+        cfg.congestion = replace(cfg.congestion, pfc=True)
+    results = run_incast(cfg)
+    rows = []
+    for key in ("flock", "ud"):
+        base = results["%s_base" % key]
+        cong = results["%s_cong" % key]
+        rows.append([key, round(base.mops, 2), round(cong.mops, 2),
+                     round(results["%s_retention" % key], 3),
+                     cong.extras.get("switch_drops", 0),
+                     cong.extras.get("ecn_marks", 0),
+                     cong.extras.get("pfc_pauses", 0)])
+    print_table("Incast: %d senders x %d threads -> 1 server"
+                % (args.senders, args.threads),
+                ["system", "base Mops", "cong Mops", "retention",
+                 "drops", "marks", "pauses"], rows)
+    _emit_scorecard(args, scorecard_incast(results))
+
+
 def _emit_attribution(args, telemetry) -> None:
     """Print per-run attribution tables and/or write the JSON report.
 
@@ -348,6 +388,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--audit", action="store_true",
                         help="run the end-of-run invariant auditors after "
                              "every experiment (fails on any violation)")
+    parser.add_argument("--congestion", action="store_true",
+                        help="run experiments on the switched-fabric "
+                             "congestion model (finite egress buffers, "
+                             "ECN/DCQCN) instead of the contention-free "
+                             "fabric — see docs/network.md")
+    parser.add_argument("--pfc", action="store_true",
+                        help="with the congestion model, use lossless "
+                             "PFC PAUSE instead of tail drop (implies "
+                             "--congestion)")
     parser.add_argument("--scorecard", metavar="DIR", default=None,
                         help="write BENCH_<figure>.json paper-fidelity "
                              "scorecards into DIR")
@@ -404,6 +453,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clients", type=int, default=22)
     p.set_defaults(fn=cmd_fig16)
 
+    p = sub.add_parser("incast", help="N->1 incast degradation: FLock "
+                                      "vs UD under fabric congestion")
+    p.add_argument("--senders", type=int, default=12)
+    p.add_argument("--threads", type=int, default=6)
+    p.add_argument("--outstanding", type=int, default=2)
+    p.add_argument("--pfc-incast", action="store_true",
+                   help="run the congested legs in lossless PFC mode")
+    p.set_defaults(fn=cmd_incast)
+
     p = sub.add_parser("bench-compare",
                        help="compare BENCH_*.json scorecards against "
                             "committed baselines (exit 1 on regression)")
@@ -430,6 +488,10 @@ def main(argv: List[str] = None) -> int:
         os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
     if args.audit:
         os.environ[AUDIT_ENV] = "1"
+    if args.congestion:
+        os.environ[CONGESTION_ENV] = "1"
+    if args.pfc:
+        os.environ[PFC_ENV] = "1"
     observing = bool(args.trace or args.metrics or args.breakdown
                      or args.attribution or args.attribution_json
                      or args.critical_path)

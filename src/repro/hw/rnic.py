@@ -40,6 +40,12 @@ class Rnic:
         self.mtt_cache = LruCache(cfg.mtt_cache_entries)
         self.pcie = PcieLink(sim, cfg.cache_miss_ns, cfg.miss_slots)
         self._tx_port = Resource(sim, capacity=1, name="tx_port")
+        #: Optional transmit-pipeline gate installed by the fabric when
+        #: PFC is on: ``tx_gate(span)`` yields a generator that blocks
+        #: while this node is PAUSE-flow-controlled.  The stall happens
+        #: before serialization, for every destination — head-of-line
+        #: blocking at the NIC.
+        self.tx_gate = None
         self._tx_bucket = TokenBucket(sim, cfg.message_rate, cfg.message_burst)
         self._rx_bucket = TokenBucket(sim, cfg.message_rate, cfg.message_burst)
         # Statistics.
@@ -144,6 +150,8 @@ class Rnic:
         A carried ``span`` records a ``nic_tx`` phase with ``pcie_stall``,
         ``tx_queue``, and ``wire`` sub-phases."""
         t0 = self.sim.now
+        if self.tx_gate is not None:
+            yield from self.tx_gate(span)
         yield from self._lookup(qpn, rkeys, span)
         delay = self._tx_bucket.delay_for()
         if delay > 0:

@@ -1,6 +1,16 @@
-"""Network substrate: nodes, switched fabric, packetization."""
+"""Network substrate: nodes, switched fabric, packetization, congestion."""
 
+from .congestion import DcqcnState, Switch, SwitchPort
 from .fabric import Fabric, Node, build_cluster
 from .packet import Reassembler, segment
 
-__all__ = ["Fabric", "Node", "Reassembler", "build_cluster", "segment"]
+__all__ = [
+    "DcqcnState",
+    "Fabric",
+    "Node",
+    "Reassembler",
+    "Switch",
+    "SwitchPort",
+    "build_cluster",
+    "segment",
+]

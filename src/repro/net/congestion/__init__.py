@@ -1,0 +1,15 @@
+"""Switched-fabric congestion subsystem.
+
+Models the fabric dynamics the contention-free :class:`~repro.net.fabric
+.Fabric` abstracts away: finite per-egress-port switch buffers
+(:mod:`~repro.net.congestion.switch`), RED/ECN marking, DCQCN per-QP
+rate control (:mod:`~repro.net.congestion.dcqcn`), and optional PFC with
+head-of-line blocking.  Enabled per run via
+:class:`repro.config.CongestionConfig` (default off — committed figure
+baselines are calibrated against the point-to-point model).
+"""
+
+from .dcqcn import DcqcnState
+from .switch import Switch, SwitchPort
+
+__all__ = ["DcqcnState", "Switch", "SwitchPort"]

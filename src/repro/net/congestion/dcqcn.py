@@ -1,0 +1,155 @@
+"""DCQCN-style per-QP rate limiter (Zhu et al., SIGCOMM 2015).
+
+The sender side of the congestion subsystem: each RC QP that crosses the
+switch owns a :class:`DcqcnState`.  ECN marks observed at the egress port
+return to the sender as CNPs (one propagation delay later, modelling the
+receiver's notification path) and cut the QP's sending rate; in CNP-free
+periods the rate climbs back through the protocol's three stages — fast
+recovery toward the pre-cut target, then additive increase, then hyper
+increase — until it reaches line rate again.
+
+Two simplifications keep this deterministic and cheap inside the DES:
+
+* Rate increase is *time-driven on demand*: instead of a background
+  timer process per QP, :meth:`send_delay` first applies however many
+  recovery intervals elapsed since the last CNP.  The trajectory is
+  identical to a timer-driven implementation because nothing else
+  observes the rate between sends.
+* A QP at line rate is **not** paced at all (``send_delay`` returns 0
+  without advancing the pacing clock).  The NIC's ``tx_port`` already
+  serializes at link rate, so pacing an unthrottled QP would
+  double-charge serialization; pacing only engages after the first cut.
+
+Timer constants live in :class:`repro.config.CongestionConfig`, scaled to
+the simulator's sub-millisecond measurement windows (real DCQCN uses
+~55 µs timers over seconds-long experiments).
+"""
+
+from __future__ import annotations
+
+from ...config import CongestionConfig
+
+__all__ = ["DcqcnState"]
+
+
+class DcqcnState:
+    """Rate-limiter state for one (node, QP) flow."""
+
+    __slots__ = (
+        "cfg", "line_rate", "rc", "rt", "alpha",
+        "cnps", "rate_cuts", "_last_cut", "_recovery_stage",
+        "_stage_clock", "_next_allowed", "throttle_ns",
+    )
+
+    def __init__(self, cfg: CongestionConfig, line_rate: float):
+        self.cfg = cfg
+        self.line_rate = line_rate
+        #: Current sending rate (bytes/ns) and the recovery target.
+        self.rc = line_rate
+        self.rt = line_rate
+        #: EWMA congestion estimate; meaningful only after the first CNP.
+        self.alpha = 1.0
+        self.cnps = 0
+        self.rate_cuts = 0
+        self._last_cut = -float("inf")
+        self._recovery_stage = 0
+        #: Reference time for counting elapsed recovery intervals.
+        self._stage_clock = 0.0
+        #: Earliest time the next message may start under pacing.
+        self._next_allowed = 0.0
+        #: Total pacing delay imposed (ns) — exported for reporting.
+        self.throttle_ns = 0.0
+
+    @property
+    def throttled(self) -> bool:
+        return self.rc < self.line_rate
+
+    # -- CNP reaction ------------------------------------------------------
+
+    def on_cnp(self, now: float) -> None:
+        """React to one congestion notification."""
+        self.cnps += 1
+        g = self.cfg.dcqcn_g
+        self.alpha = (1.0 - g) * self.alpha + g
+        # Rate cuts are gated so a burst of CNPs from one RTT's worth of
+        # marked packets counts as a single congestion event.
+        if now - self._last_cut >= self.cfg.dcqcn_rate_decrease_interval_ns:
+            self.rt = self.rc
+            self.rc = max(self.cfg.dcqcn_min_rate_bytes_per_ns,
+                          self.rc * (1.0 - self.alpha / 2.0))
+            self.rate_cuts += 1
+            self._last_cut = now
+            self._recovery_stage = 0
+            self._stage_clock = now
+
+    # -- recovery ----------------------------------------------------------
+
+    def maybe_increase(self, now: float) -> None:
+        """Apply all recovery stages whose interval has elapsed."""
+        if not self.throttled:
+            return
+        interval = self.cfg.dcqcn_recovery_interval_ns
+        g = self.cfg.dcqcn_g
+        while now - self._stage_clock >= interval:
+            self._stage_clock += interval
+            self._recovery_stage += 1
+            self.alpha *= (1.0 - g)
+            if self._recovery_stage <= self.cfg.dcqcn_fast_recovery_steps:
+                # Fast recovery: converge halfway to the target.
+                self.rc = (self.rc + self.rt) / 2.0
+            elif self._recovery_stage <= 2 * self.cfg.dcqcn_fast_recovery_steps:
+                self.rt = min(self.line_rate,
+                              self.rt + self.cfg.dcqcn_rate_ai_bytes_per_ns)
+                self.rc = (self.rc + self.rt) / 2.0
+            else:
+                self.rt = min(self.line_rate,
+                              self.rt + self.cfg.dcqcn_rate_hai_bytes_per_ns)
+                self.rc = (self.rc + self.rt) / 2.0
+            if self.rc >= self.line_rate * (1.0 - 1e-9):
+                self.rc = self.line_rate
+                self.rt = self.line_rate
+                return
+
+    # -- pacing ------------------------------------------------------------
+
+    def clearance(self, now: float) -> float:
+        """Time until the paced flow may start its next message.
+
+        A *peek* for upper layers that can use the wait productively:
+        FLock's leader holds the doorbell for this long while followers
+        keep piling into the combining queue, so coalescing deepens
+        under congestion instead of collapsing with throughput.  Does
+        not consume pacing budget — the eventual :meth:`send_delay` at
+        post time (then ~0) does.
+        """
+        self.maybe_increase(now)
+        if not self.throttled:
+            return 0.0
+        delay = max(0.0, self._next_allowed - now)
+        self.throttle_ns += delay
+        return delay
+
+    def send_delay(self, nbytes: float, now: float) -> float:
+        """Pacing delay before ``nbytes`` may start transmitting.
+
+        Returns 0 (and leaves the pacing clock untouched) while the QP
+        is at line rate — see module docstring.
+        """
+        self.maybe_increase(now)
+        if not self.throttled:
+            return 0.0
+        start = max(now, self._next_allowed)
+        self._next_allowed = start + nbytes / self.rc
+        delay = start - now
+        self.throttle_ns += delay
+        return delay
+
+    def snapshot(self) -> dict:
+        return {
+            "rate_bytes_per_ns": round(self.rc, 6),
+            "target_bytes_per_ns": round(self.rt, 6),
+            "alpha": round(self.alpha, 6),
+            "cnps": self.cnps,
+            "rate_cuts": self.rate_cuts,
+            "throttle_ns": round(self.throttle_ns, 1),
+        }

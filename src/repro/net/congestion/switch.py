@@ -1,0 +1,307 @@
+"""Output-queued switch model: per-egress-port buffers, ECN, PFC.
+
+The paper's testbed (§8.1) is 24 nodes behind one 100 Gbps switch.  The
+baseline :class:`~repro.net.fabric.Fabric` treats that switch as a wire:
+every transfer sees an idle path, so N senders targeting one receiver
+overlap for free and coalescing's fabric-side win (fewer packets →
+shallower queues) is invisible.  This module adds the missing layer:
+
+* one :class:`SwitchPort` per destination node, with a finite output
+  buffer served FIFO at link rate.  Service is bookkept with virtual
+  finish times — the port drains at exactly ``rate`` bytes/ns whenever
+  backlogged, so the instantaneous queue depth is
+  ``(busy_until - now) * rate`` with no per-byte events.  The switch is
+  cut-through like the baseline model (``propagation_ns`` already covers
+  one traversal): an arriving message is charged only the *queueing*
+  delay behind earlier arrivals, while its own serialization occupies
+  the port for those behind it.
+* **ECN marking** on enqueue, RED-style: the mark probability ramps
+  linearly from 0 at ``ecn_kmin_bytes`` of depth to ``ecn_pmax`` at
+  ``ecn_kmax_bytes`` and is 1 beyond — below Kmin traffic is never
+  marked, which the unit tests pin down.  Marks on reliable transport
+  become CNPs to the sender's DCQCN limiter (see
+  :mod:`repro.net.congestion.dcqcn`).
+* **tail drop** past the buffer when PFC is off (RC absorbs it as a
+  hardware retransmission, UD surfaces a drop), or **PFC** when on: a
+  port crossing XOFF pauses every *source node* feeding it, and a paused
+  source is blocked for **all** destinations — the head-of-line blocking
+  that makes lossless RoCE fabrics fragile under incast.  PFC never
+  drops; the buffer stretches into headroom for messages already past
+  their pause check.
+
+Every blocking interaction records a typed wait edge (``switch_queue``,
+``pfc_pause``) on the carried span for critical-path attribution, and
+the structural per-port counters are cross-checked end-of-run by the
+``switch`` auditor in :mod:`repro.obs.audit`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generator, Optional, Tuple
+
+from ...config import CongestionConfig, NetConfig
+from ...obs.span import Span
+from ...sim import Event, Simulator
+
+__all__ = ["Switch", "SwitchPort"]
+
+
+class SwitchPort:
+    """One egress port: finite output queue served at link rate."""
+
+    __slots__ = (
+        "name", "rate", "busy_until",
+        "offered_msgs", "offered_bytes", "accepted_msgs", "accepted_bytes",
+        "dropped_msgs", "dropped_bytes", "ecn_marks", "pause_events",
+        "peak_depth_bytes", "queue_wait_ns", "paused", "resume_ev",
+    )
+
+    def __init__(self, name: str, rate: float):
+        self.name = name
+        self.rate = rate
+        #: Virtual time the last accepted byte finishes serializing.
+        self.busy_until = 0.0
+        self.offered_msgs = 0
+        self.offered_bytes = 0
+        self.accepted_msgs = 0
+        self.accepted_bytes = 0
+        self.dropped_msgs = 0
+        self.dropped_bytes = 0
+        self.ecn_marks = 0
+        #: Times this port asserted XOFF (PFC mode).
+        self.pause_events = 0
+        self.peak_depth_bytes = 0.0
+        #: Cumulative queueing delay charged to arrivals (ns).
+        self.queue_wait_ns = 0.0
+        self.paused = False
+        self.resume_ev: Optional[Event] = None
+
+    def depth_bytes(self, now: float) -> float:
+        """Instantaneous output-queue occupancy.
+
+        Exact for a work-conserving FIFO draining at ``rate``: the
+        backlog in bytes is the remaining busy time times the rate.
+        """
+        return max(0.0, (self.busy_until - now) * self.rate)
+
+    def served_bytes(self, now: float) -> float:
+        """Bytes fully serialized out of the port so far."""
+        return self.accepted_bytes - self.depth_bytes(now)
+
+    def utilization(self, now: float) -> float:
+        """Fraction of elapsed time the port spent serializing."""
+        return self.served_bytes(now) / (self.rate * max(now, 1.0))
+
+
+class Switch:
+    """Per-destination egress ports plus the PFC pause machinery."""
+
+    def __init__(self, sim: Simulator, net: NetConfig, cfg: CongestionConfig,
+                 seed: int = 0):
+        self.sim = sim
+        self.net = net
+        self.cfg = cfg
+        self.rate = net.bandwidth_bytes_per_ns
+        #: ECN draws come from a dedicated stream so enabling the switch
+        #: never perturbs the fabric's loss/jitter RNG sequence.
+        self.rng = random.Random(seed ^ 0x5317C4)
+        self.ports: Dict[str, SwitchPort] = {}
+        #: src node -> {port name: resume event} while PFC-paused.
+        self._paused_srcs: Dict[str, Dict[str, Event]] = {}
+        metrics = sim.metrics
+        self._m_msgs = metrics.counter("switch.msgs")
+        self._m_bytes = metrics.counter("switch.bytes")
+        self._m_drops = metrics.counter("switch.drops")
+        self._m_marks = metrics.counter("switch.ecn_marks")
+        self._m_pauses = metrics.counter("switch.pfc_pauses")
+        self._m_resumes = metrics.counter("switch.pfc_resumes")
+        self._m_queue_ns = metrics.counter("switch.queue_ns")
+        self._metrics = metrics
+        sim.register_component(self)
+
+    # -- ports -----------------------------------------------------------
+
+    def port_for(self, dst_name: str) -> SwitchPort:
+        port = self.ports.get(dst_name)
+        if port is None:
+            port = SwitchPort(dst_name, self.rate)
+            self.ports[dst_name] = port
+            if self._metrics.enabled:
+                # Per-port gauges, sampled only at snapshot time.
+                self._metrics.gauge(
+                    "switch.port_depth",
+                    fn=lambda p=port: p.depth_bytes(self.sim.now),
+                    port=dst_name)
+                self._metrics.gauge(
+                    "switch.port_utilization",
+                    fn=lambda p=port: p.utilization(self.sim.now),
+                    port=dst_name)
+        return port
+
+    @property
+    def total_drops(self) -> int:
+        return sum(p.dropped_msgs for p in self.ports.values())
+
+    @property
+    def total_ecn_marks(self) -> int:
+        return sum(p.ecn_marks for p in self.ports.values())
+
+    @property
+    def total_pause_events(self) -> int:
+        return sum(p.pause_events for p in self.ports.values())
+
+    def peak_depth_bytes(self) -> float:
+        return max((p.peak_depth_bytes for p in self.ports.values()),
+                   default=0.0)
+
+    # -- PFC pause propagation -------------------------------------------
+
+    def is_paused(self, src_name: str) -> bool:
+        blocks = self._paused_srcs.get(src_name)
+        if not blocks:
+            return False
+        live = {k: ev for k, ev in blocks.items() if not ev.triggered}
+        if live:
+            self._paused_srcs[src_name] = live
+            return True
+        del self._paused_srcs[src_name]
+        return False
+
+    def _assert_pause(self, port: SwitchPort, src_name: str) -> Event:
+        """XOFF ``src_name`` until ``port`` drains below XON."""
+        if port.resume_ev is None:
+            port.paused = True
+            port.pause_events += 1
+            self._m_pauses.inc()
+            port.resume_ev = Event(self.sim)
+            self.sim.spawn(self._resume_watch(port), name="pfc-resume")
+        ev = port.resume_ev
+        self._paused_srcs.setdefault(src_name, {})[port.name] = ev
+        return ev
+
+    def _resume_watch(self, port: SwitchPort) -> Generator[Event, None, None]:
+        """XON once the backlog decays to the resume threshold.
+
+        While a port is paused every new arrival is held at its pause
+        check, so ``busy_until`` cannot grow — but the loop re-checks
+        anyway in case thresholds make the crossing time move.
+        """
+        while True:
+            target = port.busy_until - self.cfg.pfc_xon_bytes / self.rate
+            if target <= self.sim.now:
+                break
+            yield self.sim.timeout(target - self.sim.now)
+        port.paused = False
+        self._m_resumes.inc()
+        ev, port.resume_ev = port.resume_ev, None
+        if ev is not None and not ev.triggered:
+            ev.succeed()
+
+    def ingress_wait(self, src_name: str,
+                     span: Optional[Span] = None
+                     ) -> Generator[Event, None, None]:
+        """Block while ``src_name`` is PFC-paused by *any* egress port.
+
+        This is the head-of-line blocking: a source paused because one
+        of its flows feeds a congested port cannot transmit to idle
+        destinations either.  The wait is recorded as an open
+        ``pfc_pause`` edge so senders still paused at end of run keep
+        their in-flight blocked time.
+        """
+        while self.is_paused(src_name):
+            evs = [ev for ev in self._paused_srcs[src_name].values()
+                   if not ev.triggered]
+            if not evs:
+                continue
+            if span is not None:
+                span.wait_begin("pfc_pause", self.sim.now)
+            yield self.sim.all_of(evs)
+            if span is not None:
+                span.wait_end("pfc_pause", self.sim.now)
+
+    # -- the egress hop ---------------------------------------------------
+
+    def _mark_probability(self, depth: float) -> float:
+        cfg = self.cfg
+        if depth < cfg.ecn_kmin_bytes:
+            return 0.0
+        if depth >= cfg.ecn_kmax_bytes:
+            return 1.0
+        span = max(cfg.ecn_kmax_bytes - cfg.ecn_kmin_bytes, 1)
+        return cfg.ecn_pmax * (depth - cfg.ecn_kmin_bytes) / span
+
+    def traverse(self, src_name: str, dst_name: str, wire_bytes: int,
+                 span: Optional[Span] = None
+                 ) -> Generator[Event, None, Tuple[bool, bool]]:
+        """Carry one message through the egress port toward ``dst_name``.
+
+        Returns ``(accepted, ecn_marked)``.  ``accepted`` is False only
+        on tail drop (PFC off, buffer full); the caller decides whether
+        that is a retransmission (RC) or a loss (UD).
+        """
+        yield from self.ingress_wait(src_name, span)
+        port = self.port_for(dst_name)
+        if self.cfg.pfc:
+            # XOFF at arrival: above the pause threshold nothing more
+            # enters this port; the source blocks for all destinations.
+            while port.paused or port.depth_bytes(self.sim.now) \
+                    >= self.cfg.pfc_xoff_bytes:
+                ev = self._assert_pause(port, src_name)
+                if span is not None:
+                    span.wait_begin("pfc_pause", self.sim.now)
+                yield ev
+                if span is not None:
+                    span.wait_end("pfc_pause", self.sim.now)
+                yield from self.ingress_wait(src_name, span)
+        now = self.sim.now
+        depth = port.depth_bytes(now)
+        port.offered_msgs += 1
+        port.offered_bytes += wire_bytes
+        if not self.cfg.pfc and depth + wire_bytes > self.cfg.buffer_bytes:
+            port.dropped_msgs += 1
+            port.dropped_bytes += wire_bytes
+            self._m_drops.inc()
+            return False, False
+        marked = False
+        p = self._mark_probability(depth)
+        if p >= 1.0 or (p > 0.0 and self.rng.random() < p):
+            marked = True
+            port.ecn_marks += 1
+            self._m_marks.inc()
+        wait = max(0.0, port.busy_until - now)
+        port.busy_until = now + wait + wire_bytes / self.rate
+        port.accepted_msgs += 1
+        port.accepted_bytes += wire_bytes
+        self._m_msgs.inc()
+        self._m_bytes.inc(wire_bytes)
+        depth_after = depth + wire_bytes
+        if depth_after > port.peak_depth_bytes:
+            port.peak_depth_bytes = depth_after
+        if wait > 0:
+            port.queue_wait_ns += wait
+            self._m_queue_ns.inc(wait)
+            if span is not None:
+                span.add_phase("switch_queue", now, now + wait)
+                span.wait("switch_queue", now, now + wait)
+            yield self.sim.timeout(wait)
+        return True, marked
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        now = self.sim.now
+        return {
+            "ports": {
+                name: {
+                    "depth_bytes": round(p.depth_bytes(now), 1),
+                    "peak_depth_bytes": round(p.peak_depth_bytes, 1),
+                    "accepted_msgs": p.accepted_msgs,
+                    "dropped_msgs": p.dropped_msgs,
+                    "ecn_marks": p.ecn_marks,
+                    "pause_events": p.pause_events,
+                    "utilization": round(p.utilization(now), 4),
+                }
+                for name, p in sorted(self.ports.items())
+            },
+        }

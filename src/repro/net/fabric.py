@@ -6,17 +6,29 @@ process: source-NIC processing (state lookup, rate limit, wire
 serialization) → propagation → destination-NIC processing.  Packet loss
 can be injected; reliable transports (RC) absorb it as a hardware
 retransmission delay, unreliable ones surface it as a drop.
+
+By default the switch is contention-free — concurrent transfers to the
+same destination overlap for free, which is the regime every committed
+figure baseline was calibrated against.  With
+``NetConfig.congestion.enabled`` (or ``REPRO_CONGESTION=1``) each
+transfer additionally crosses a per-destination egress port with a
+finite output queue (:mod:`repro.net.congestion`): queue buildup charges
+``switch_queue`` wait time, triggers ECN marks that come back to the
+sender as CNPs for DCQCN rate control, tail-drops past the buffer (RC
+retransmits, UD loses the message), or — in PFC mode — pauses the
+sending node entirely.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Generator, Iterable, Optional
+from typing import Dict, Generator, Iterable, Optional, Tuple
 
 from ..config import ClusterConfig, CpuConfig, NetConfig, NicConfig
 from ..hw import CpuMeter, HostMemory, Rnic
 from ..obs.span import Span
 from ..sim import Event, Simulator
+from .congestion import DcqcnState, Switch
 
 __all__ = ["Node", "Fabric", "build_cluster"]
 
@@ -50,12 +62,24 @@ class Fabric:
         self.sim = sim
         self.cfg = cfg
         self.rng = random.Random(seed)
-        #: Probability an individual message transfer is "lost" on the wire.
+        #: Probability an individual *packet* is "lost" on the wire.
         self.loss_prob = 0.0
         #: Extra latency charged when RC hardware retransmits a lost packet.
         self.retransmit_ns = 12_000.0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        #: Links in the fabric; set by :func:`build_cluster` to the node
+        #: count so the aggregate utilization gauge normalises correctly.
+        self.n_ports = 1
+        #: Resolved congestion model (env overrides applied here, once).
+        self.congestion = cfg.congestion.resolved()
+        self.switch: Optional[Switch] = (
+            Switch(sim, cfg, self.congestion, seed=seed)
+            if self.congestion.enabled else None)
+        #: DCQCN limiter per (src node, QP); only populated when the
+        #: switch model and DCQCN are both on.
+        self._dcqcn: Dict[Tuple[str, int], DcqcnState] = {}
+        self.cnps_delivered = 0
         metrics = sim.metrics
         self._m_messages = metrics.counter("net.messages")
         self._m_payload_bytes = metrics.counter("net.payload_bytes")
@@ -64,15 +88,40 @@ class Fabric:
         self._m_packets = metrics.counter("net.packets")
         self._m_drops = metrics.counter("net.drops")
         self._m_retransmits = metrics.counter("net.retransmits")
+        self._m_cnps = metrics.counter("net.cnps")
         if metrics.enabled:
-            # Aggregate utilization: wire bytes moved vs. one link's
-            # capacity over elapsed virtual time (sampled at snapshot).
+            # Aggregate utilization: wire bytes moved vs. the capacity of
+            # all ports over elapsed virtual time (sampled at snapshot).
             metrics.gauge(
                 "net.link_utilization",
                 fn=lambda: (self._m_wire_bytes.value
                             / (cfg.bandwidth_bytes_per_ns
+                               * max(self.n_ports, 1)
                                * max(sim.now, 1.0))))
         sim.register_component(self)
+
+    # -- congestion plumbing ----------------------------------------------
+
+    @property
+    def dcqcn_active(self) -> bool:
+        return self.switch is not None and self.congestion.dcqcn_enabled
+
+    def dcqcn_for(self, node_name: str, qpn: int) -> DcqcnState:
+        """The rate-limiter state for one sending flow (lazily created)."""
+        key = (node_name, qpn)
+        state = self._dcqcn.get(key)
+        if state is None:
+            state = DcqcnState(self.congestion, self.cfg.bandwidth_bytes_per_ns)
+            self._dcqcn[key] = state
+        return state
+
+    def _deliver_cnp(self, src_name: str, src_qpn: int
+                     ) -> Generator[Event, None, None]:
+        """Carry one congestion notification back to the sender's QP."""
+        yield self.sim.timeout(self.cfg.propagation_ns)
+        self.dcqcn_for(src_name, src_qpn).on_cnp(self.sim.now)
+        self.cnps_delivered += 1
+        self._m_cnps.inc()
 
     def transfer(
         self,
@@ -90,38 +139,79 @@ class Fabric:
         """Move one message from ``src`` to ``dst``.
 
         Returns True if delivered; False if dropped (unreliable transport
-        under injected loss).  Reliable transfers always deliver but pay a
-        retransmission delay per loss event.  A carried ``span`` records
-        ``nic_tx`` / ``propagation`` / ``nic_rx`` phases along the way.
+        under injected loss or switch tail drop).  Reliable transfers
+        always deliver but pay a retransmission delay per lost packet and
+        per switch drop.  A carried ``span`` records ``nic_tx`` /
+        ``switch_queue`` / ``propagation`` / ``nic_rx`` phases.
         """
+        n_packets = src.rnic.packets_for(nbytes)
         self._m_messages.inc()
         self._m_payload_bytes.inc(nbytes)
         self._m_wire_bytes.inc(src.rnic.wire_bytes(nbytes))
         self._m_header_bytes.inc(src.rnic.wire_bytes(nbytes) - nbytes)
-        self._m_packets.inc(src.rnic.packets_for(nbytes))
+        self._m_packets.inc(n_packets)
         yield from src.rnic.tx_process(nbytes, src_qpn, rkeys, span=span)
         delay = self.cfg.propagation_ns + src.rnic.cfg.base_latency_ns
         if jitter_ns > 0:
             delay += self.rng.random() * jitter_ns
-        if self.loss_prob > 0 and self.rng.random() < self.loss_prob:
-            if not reliable:
-                self.messages_dropped += 1
-                self._m_drops.inc()
-                return False
-            # RNIC-level retransmission: invisible to software, costs time.
-            delay += self.retransmit_ns
-            self._m_retransmits.inc()
+        if self.loss_prob > 0:
+            # Loss is per packet: a multi-MTU message runs the gauntlet
+            # once per MTU, so large transfers are proportionally more
+            # exposed.  Any lost packet kills an unreliable message; RC
+            # retransmits each lost packet individually.
+            lost = sum(1 for _ in range(n_packets)
+                       if self.rng.random() < self.loss_prob)
+            if lost:
+                if not reliable:
+                    self.messages_dropped += 1
+                    self._m_drops.inc()
+                    return False
+                # RNIC-level retransmissions: invisible to software.
+                delay += self.retransmit_ns * lost
+                self._m_retransmits.inc(lost)
+        marked = False
+        if self.switch is not None:
+            wire = src.rnic.wire_bytes(nbytes)
+            while True:
+                accepted, marked = yield from self.switch.traverse(
+                    src.name, dst.name, wire, span=span)
+                if accepted:
+                    break
+                if not reliable:
+                    self.messages_dropped += 1
+                    self._m_drops.inc()
+                    return False
+                # Tail drop on RC: hardware go-back-N resubmits the
+                # message after the retransmission timeout.
+                self._m_retransmits.inc()
+                yield self.sim.timeout(self.retransmit_ns)
         if span is not None:
             span.add_phase("propagation", self.sim.now, self.sim.now + delay)
             span.wait("propagation", self.sim.now, self.sim.now + delay)
         yield self.sim.timeout(delay)
         yield from dst.rnic.rx_process(nbytes, dst_qpn, rkeys, span=span)
         self.messages_delivered += 1
+        if marked and reliable and self.dcqcn_active:
+            # The receiver's CNP generator notifies the marked flow.
+            self.sim.spawn(self._deliver_cnp(src.name, src_qpn), name="cnp")
         return True
 
     def transfer_async(self, *args, **kwargs):
         """Spawn :meth:`transfer` as a background process; returns it."""
         return self.sim.spawn(self.transfer(*args, **kwargs), name="xfer")
+
+    def congestion_snapshot(self) -> dict:
+        """Switch + DCQCN state for reporting (empty when disabled)."""
+        if self.switch is None:
+            return {}
+        snap = self.switch.snapshot()
+        snap["cnps_delivered"] = self.cnps_delivered
+        snap["flows"] = {
+            "%s/qp%d" % key: st.snapshot()
+            for key, st in sorted(self._dcqcn.items())
+            if st.cnps or st.throttled
+        }
+        return snap
 
 
 def build_cluster(sim: Simulator, cfg: ClusterConfig):
@@ -135,4 +225,17 @@ def build_cluster(sim: Simulator, cfg: ClusterConfig):
         Node(sim, "client%d" % i, cfg.nic, cfg.cpu, cfg.net)
         for i in range(cfg.n_clients)
     ]
+    fabric.n_ports = len(servers) + len(clients)
+    if fabric.switch is not None and fabric.congestion.pfc:
+        # PFC reaches into the NIC: a paused node's transmit pipeline
+        # stalls before serialization, for every destination.
+        for node in servers + clients:
+            node.rnic.tx_gate = _pfc_gate(fabric.switch, node.name)
     return servers, clients, fabric
+
+
+def _pfc_gate(switch: Switch, node_name: str):
+    """A tx-pipeline hook blocking while ``node_name`` is PFC-paused."""
+    def gate(span=None):
+        return switch.ingress_wait(node_name, span)
+    return gate

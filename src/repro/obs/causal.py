@@ -70,8 +70,11 @@ RESOURCES = (
     "server_queue",   # flock/rpc.py — ring landing → worker pop
     "pcie_stall",     # hw/rnic.py + hw/pcie.py — QP/MTT miss DMA fetch
     "nic_throttle",   # hw/rnic.py — NIC pipeline rate limiting
+    "ecn_throttle",   # verbs/qp.py — DCQCN pacing after an ECN rate cut
+    "pfc_pause",      # net/congestion — sender PAUSE-flow-controlled
     "tx_port",        # hw/rnic.py — shared TX port serialisation
     "wire",           # hw/rnic.py — link-bandwidth serialisation
+    "switch_queue",   # net/congestion — egress output-queue backlog
     "propagation",    # net/fabric.py — switch hops + flight time
     "cq_poll",        # verbs/cq.py — CQE ready → reaped by a poller
     GAP_RESOURCE,

@@ -40,6 +40,8 @@ PHASES = (
     "pcie_stall",
     "tx_queue",
     "wire",
+    "switch_queue",
+    "ecn_throttle",
     "propagation",
     "nic_rx",
     "server_queue",

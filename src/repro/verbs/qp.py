@@ -184,9 +184,33 @@ class QueuePair:
             self.node.rnic.cqes_generated += 1
             self.node.rnic._m_cqes.inc()
 
+    def _congestion_gate(self, wr: WorkRequest) -> Generator[Event, None, None]:
+        """DCQCN pacing for RC flows under the switched-fabric model.
+
+        After the flow's rate was cut by a CNP, outgoing work requests
+        are spaced to the current rate before the NIC pipeline sees
+        them; the stall is recorded as an ``ecn_throttle`` wait edge.
+        A flow at line rate pays nothing here (the TX port already
+        serializes at link speed).
+        """
+        fabric = self.fabric
+        if not (self.transport.reliable and fabric.dcqcn_active):
+            return
+        state = fabric.dcqcn_for(self.node.name, self.qpn)
+        delay = state.send_delay(
+            self.node.rnic.wire_bytes(wr.length), self.sim.now)
+        if delay > 0:
+            if wr.span is not None:
+                wr.span.add_phase(
+                    "ecn_throttle", self.sim.now, self.sim.now + delay)
+                wr.span.wait(
+                    "ecn_throttle", self.sim.now, self.sim.now + delay)
+            yield self.sim.timeout(delay)
+
     def _execute(
         self, wr: WorkRequest, target: "QueuePair", done: Event
     ) -> Generator[Event, None, None]:
+        yield from self._congestion_gate(wr)
         verb = wr.verb
         if verb is Verb.SEND:
             yield from self._do_send(wr, target, done)
