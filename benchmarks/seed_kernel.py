@@ -1,0 +1,387 @@
+"""Frozen pre-refactor simulation kernel (perf-benchmark baseline).
+
+A verbatim snapshot of ``src/repro/sim/core.py`` as it stood before the
+kernel fast-path refactor (immediate-ready deque, ``__slots__``, cached
+bound callbacks, flattened event allocation), with the two relative
+observability imports rewritten to absolute ones so the module loads
+from the benchmark suite.  ``benchmarks/test_perf_kernel.py`` runs the
+same workloads on this kernel and on the live one and gates the
+speedup; nothing else may import this module.  Do not "fix" or optimise
+it — its whole value is staying identical to the seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.obs.registry import null_registry
+from repro.obs.span import null_span_log
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for kernel-level misuse (double trigger, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The interrupting party passes ``cause`` to describe why; e.g. the
+    sender-side thread scheduler interrupts an application thread when the
+    QP it was waiting on gets deactivated.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; it becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called, at which point it is placed on the simulator
+    heap and its callbacks run when the loop reaches it.  Processes wait on
+    events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value of untriggered event")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, firing after ``delay`` ns."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception delivered to waiters."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exc = exc
+        self.sim._schedule(self, delay)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if it has)."""
+        if self._processed:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative timeout delay: %r" % delay)
+        super().__init__(sim)
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+ProcessGen = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A generator-based coroutine running in virtual time.
+
+    The wrapped generator yields :class:`Event` objects; the process sleeps
+    until each yielded event fires, then resumes with the event's value (or
+    with its exception raised inside the generator).  The process itself is
+    an event that fires when the generator returns, carrying the return
+    value — so processes can wait on each other.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError("Process requires a generator, got %r" % (gen,))
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Kick-start at the current time.
+        init = Event(sim)
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        A no-op if the process has already finished.
+        """
+        if self._triggered:
+            return
+        waited = self._waiting_on
+        if waited is not None and not waited._processed:
+            # Detach from the event we were waiting on; it may still fire
+            # later but must not resume us twice.
+            if waited.callbacks is not None and self._resume in waited.callbacks:
+                waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interrupt_ev = Event(self.sim)
+        interrupt_ev.add_callback(self._resume)
+        interrupt_ev.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        if self._triggered:
+            # A stale wake-up (e.g. a second interrupt scheduled in the
+            # same instant the process finished) must not resume a
+            # completed generator.
+            return
+        self._waiting_on = None
+        try:
+            if event._exc is not None:
+                target = self.gen.throw(event._exc)
+            else:
+                target = self.gen.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as cancellation.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            if self.sim.strict:
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                "process %r yielded %r (must yield Event)" % (self.name, target)
+            )
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            ev.add_callback(self._check)
+
+    def _results(self) -> dict:
+        return {
+            ev: ev._value for ev in self.events if ev._processed and ev._exc is None
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+        else:
+            self.succeed(self._results())
+
+
+class AllOf(_Condition):
+    """Fires when every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._n_fired += 1
+        if self._n_fired == len(self.events):
+            self.succeed(self._results())
+
+
+class Simulator:
+    """The event loop: a heap of (time, seq, event) driving virtual time.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(100)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert sim.now == 100 and proc.value == "done"
+    """
+
+    def __init__(self, strict: bool = True):
+        self.now: float = 0.0
+        self.strict = strict
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._n_events = 0
+        #: Metrics registry consulted by instrumented components at
+        #: construction time; :meth:`repro.obs.Telemetry.install` swaps in
+        #: a live registry *before* the cluster is built.
+        self.metrics = null_registry
+        #: Span log for per-RPC/per-message tracing; disabled by default.
+        self.spans = null_span_log
+        #: Every instrumented component (RNICs, CQs, credit states, ...)
+        #: registers itself here at construction so the end-of-run
+        #: auditors (:mod:`repro.obs.audit`) can enumerate the system
+        #: without the simulation threading references around.
+        self.components: List[Any] = []
+        #: Heap pops that would move the clock backwards (always 0 with a
+        #: correct heap; the monotone-time auditor asserts it).
+        self.time_regressions = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        """A fresh pending event to be triggered manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start a new process running ``gen``."""
+        return Process(self, gen, name)
+
+    def register_component(self, component: Any) -> None:
+        """Record an instrumented component for end-of-run auditing."""
+        self.components.append(component)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- execution -----------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Count of events fired so far (for perf/diagnostic reporting)."""
+        return self._n_events
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the heap is empty."""
+        if not self._heap:
+            return False
+        when, _seq, event = heapq.heappop(self._heap)
+        if when < self.now:
+            self.time_regressions += 1
+        self.now = when
+        self._n_events += 1
+        event._fire()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or virtual time reaches ``until``.
+
+        When ``until`` is given, the clock is advanced exactly to it even
+        if the last event fires earlier.
+        """
+        if until is None:
+            while self.step():
+                pass
+            return
+        if until < self.now:
+            raise SimulationError("until=%r is in the past (now=%r)" % (until, self.now))
+        heap = self._heap
+        while heap and heap[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` fires; returns its value."""
+        while not event._processed:
+            if not self.step():
+                raise SimulationError(
+                    "simulation drained before event fired (deadlock?)"
+                )
+        return event.value

@@ -66,6 +66,9 @@ class CreditState:
         #: per queued request by the leader, which knows the spans).
         self.dry_waits = 0
         self.wait_ns = 0.0
+        #: Cached ``sim.instrumented``: the wait-time accounting closure
+        #: is only allocated when someone (auditor/telemetry) can see it.
+        self._obs = sim.instrumented
         sim.register_component(self)
 
     # -- consumption --------------------------------------------------------
@@ -96,12 +99,13 @@ class CreditState:
         ev = Event(self.sim)
         self._waiters.append(ev)
         self.dry_waits += 1
-        t0 = self.sim.now
+        if self._obs:
+            t0 = self.sim.now
 
-        def _note(_ev: Event) -> None:
-            self.wait_ns += self.sim.now - t0
+            def _note(_ev: Event) -> None:
+                self.wait_ns += self.sim.now - t0
 
-        ev.add_callback(_note)
+            ev.add_callback(_note)
         return ev
 
     # -- grant handling ------------------------------------------------------

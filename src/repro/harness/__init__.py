@@ -1,7 +1,12 @@
 """Experiment harness: per-figure runners, metrics, table formatting."""
 
 from .incastbench import IncastConfig, run_incast, run_incast_flock, run_incast_ud
-from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
+from .indexbench import (
+    IndexBenchConfig,
+    run_erpc_index,
+    run_flock_index,
+    sweep_index,
+)
 from .metrics import Recorder, RunResult
 from .microbench import (
     MicrobenchConfig,
@@ -11,7 +16,11 @@ from .microbench import (
     run_raw_reads,
     run_rc,
     run_ud_rpc,
+    sweep_flock_vs_erpc,
+    sweep_raw_reads,
+    sweep_ud_rpc,
 )
+from .parallel import SweepPoint, default_jobs, run_sweep
 from .scorecards import (
     scorecard_fig2a,
     scorecard_fig9,
@@ -24,7 +33,13 @@ from .scorecards import (
     scorecards_fig6_7_8,
 )
 from .tables import format_table, print_table
-from .txnbench import TxnBenchConfig, build_txn_servers, run_fasst_txn, run_flocktx
+from .txnbench import (
+    TxnBenchConfig,
+    build_txn_servers,
+    run_fasst_txn,
+    run_flocktx,
+    sweep_txn,
+)
 
 __all__ = [
     "IncastConfig",
@@ -32,9 +47,11 @@ __all__ = [
     "MicrobenchConfig",
     "Recorder",
     "RunResult",
+    "SweepPoint",
     "TxnBenchConfig",
     "bench_scale",
     "build_txn_servers",
+    "default_jobs",
     "format_table",
     "print_table",
     "run_erpc",
@@ -48,6 +65,7 @@ __all__ = [
     "run_incast_ud",
     "run_raw_reads",
     "run_rc",
+    "run_sweep",
     "run_ud_rpc",
     "scorecard_fig2a",
     "scorecard_fig9",
@@ -58,4 +76,9 @@ __all__ = [
     "scorecard_fig15",
     "scorecard_incast",
     "scorecards_fig6_7_8",
+    "sweep_flock_vs_erpc",
+    "sweep_index",
+    "sweep_raw_reads",
+    "sweep_txn",
+    "sweep_ud_rpc",
 ]

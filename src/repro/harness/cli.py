@@ -83,7 +83,7 @@ from ..obs import (
 from ..config import CONGESTION_ENV, PFC_ENV
 from ..obs.audit import AUDIT_ENV
 from .incastbench import IncastConfig, run_incast
-from .indexbench import IndexBenchConfig, run_erpc_index, run_flock_index
+from .indexbench import IndexBenchConfig, sweep_index
 from .microbench import (
     MicrobenchConfig,
     bench_scale,
@@ -92,7 +92,11 @@ from .microbench import (
     run_raw_reads,
     run_rc,
     run_ud_rpc,
+    sweep_flock_vs_erpc,
+    sweep_raw_reads,
+    sweep_ud_rpc,
 )
+from .parallel import SweepPoint, default_jobs, run_sweep
 from .scorecards import (
     scorecard_fig2a,
     scorecard_fig9,
@@ -103,7 +107,7 @@ from .scorecards import (
     scorecards_fig6_7_8,
 )
 from .tables import print_table
-from .txnbench import TxnBenchConfig, run_fasst_txn, run_flocktx
+from .txnbench import TxnBenchConfig, run_fasst_txn, run_flocktx, sweep_txn
 
 #: Default committed-baseline directory for ``bench-compare``.
 DEFAULT_BASELINE_DIR = os.path.join(
@@ -124,14 +128,11 @@ def _emit_scorecard(args, sc) -> None:
 
 def cmd_fig2a(args) -> None:
     """Fig 2(a): RC read scaling sweep."""
-    results = {}
-    rows = []
-    for qps in args.qps:
-        result = run_raw_reads(qps, n_clients=args.clients,
-                               outstanding_per_qp=2)
-        results[qps] = result
-        rows.append([qps, round(result.mops, 2),
-                     result.extras["qp_cache_miss"]])
+    results = sweep_raw_reads(args.qps, n_clients=args.clients,
+                              outstanding_per_qp=2,
+                              jobs=default_jobs(args.jobs))
+    rows = [[qps, round(result.mops, 2), result.extras["qp_cache_miss"]]
+            for qps, result in results.items()]
     print_table("Fig 2(a): RC read throughput vs #QPs",
                 ["#QPs", "Mops", "cache miss"], rows)
     _emit_scorecard(args, scorecard_fig2a(results))
@@ -139,27 +140,23 @@ def cmd_fig2a(args) -> None:
 
 def cmd_fig2b(args) -> None:
     """Fig 2(b): UD RPC sender sweep."""
-    rows = []
-    for senders in args.senders:
-        result = run_ud_rpc(senders, n_clients=args.clients)
-        rows.append([senders, round(result.mops, 2),
-                     result.extras["server_cpu"]])
+    results = sweep_ud_rpc(args.senders, n_clients=args.clients,
+                           jobs=default_jobs(args.jobs))
+    rows = [[senders, round(result.mops, 2), result.extras["server_cpu"]]
+            for senders, result in results.items()]
     print_table("Fig 2(b): UD RPC throughput vs #senders",
                 ["#senders", "Mops", "server CPU"], rows)
 
 
 def cmd_fig6(args) -> None:
     """Figs 6-8: FLock vs eRPC thread sweep."""
-    results = {}
+    results = sweep_flock_vs_erpc(args.threads, n_clients=args.clients,
+                                  outstanding=args.outstanding,
+                                  jobs=default_jobs(args.jobs))
     rows = []
     for threads in args.threads:
-        cfg = MicrobenchConfig(n_clients=args.clients,
-                               threads_per_client=threads,
-                               outstanding=args.outstanding)
-        flock = run_flock(cfg)
-        erpc = run_erpc(cfg)
-        results[("flock", args.outstanding, threads)] = flock
-        results[("erpc", args.outstanding, threads)] = erpc
+        flock = results[("flock", args.outstanding, threads)]
+        erpc = results[("erpc", args.outstanding, threads)]
         rows.append([threads, round(flock.mops, 2), round(erpc.mops, 2),
                      round(flock.median_us, 1), round(erpc.median_us, 1),
                      round(flock.p99_us, 1), round(erpc.p99_us, 1)])
@@ -173,15 +170,24 @@ def cmd_fig6(args) -> None:
 
 def cmd_fig9(args) -> None:
     """Fig 9: QP sharing approaches."""
-    results = {}
-    rows = []
+    points = []
     for threads in args.threads:
         cfg = MicrobenchConfig(n_clients=args.clients,
                                threads_per_client=threads, outstanding=8)
-        results[("flock", threads)] = run_flock(cfg)
-        results[("nosharing", threads)] = run_rc(cfg, threads_per_qp=1)
-        results[("farm2", threads)] = run_rc(cfg, threads_per_qp=2)
-        results[("farm4", threads)] = run_rc(cfg, threads_per_qp=4)
+        points.append(SweepPoint("fig9/flock/t=%d" % threads,
+                                 run_flock, (cfg,)))
+        for tpq in (1, 2, 4):
+            points.append(SweepPoint(
+                "fig9/rc%d/t=%d" % (tpq, threads), run_rc, (cfg,),
+                {"threads_per_qp": tpq}))
+    merged = iter(run_sweep(points, default_jobs(args.jobs)))
+    results = {}
+    rows = []
+    for threads in args.threads:
+        results[("flock", threads)] = next(merged)[1]
+        results[("nosharing", threads)] = next(merged)[1]
+        results[("farm2", threads)] = next(merged)[1]
+        results[("farm4", threads)] = next(merged)[1]
         rows.append([threads,
                      round(results[("flock", threads)].mops, 2),
                      round(results[("nosharing", threads)].mops, 2),
@@ -194,16 +200,22 @@ def cmd_fig9(args) -> None:
 
 def cmd_fig10(args) -> None:
     """Fig 10: coalescing on/off."""
-    results = {}
-    rows = []
+    points = []
     for outstanding in args.outstanding_list:
         cfg = MicrobenchConfig(n_clients=args.clients,
                                threads_per_client=32,
                                outstanding=outstanding)
-        with_c = run_flock(cfg)
-        without_c = run_flock(cfg, coalescing=False)
-        results[(True, outstanding)] = with_c
-        results[(False, outstanding)] = without_c
+        points.append(SweepPoint("fig10/on/o=%d" % outstanding,
+                                 run_flock, (cfg,)))
+        points.append(SweepPoint("fig10/off/o=%d" % outstanding,
+                                 run_flock, (cfg,),
+                                 {"coalescing": False}))
+    merged = iter(run_sweep(points, default_jobs(args.jobs)))
+    results = {}
+    rows = []
+    for outstanding in args.outstanding_list:
+        with_c = results[(True, outstanding)] = next(merged)[1]
+        without_c = results[(False, outstanding)] = next(merged)[1]
         rows.append([outstanding, round(without_c.mops, 2),
                      round(with_c.mops, 2),
                      round(with_c.mops / max(without_c.mops, 1e-9), 2),
@@ -216,15 +228,12 @@ def cmd_fig10(args) -> None:
 
 def cmd_fig14(args) -> None:
     """Figs 14/15: FLockTX vs FaSST transactions."""
-    results = {}
+    results = sweep_txn(args.threads, workload=args.workload,
+                        jobs=default_jobs(args.jobs))
     rows = []
     for threads in args.threads:
-        cfg = TxnBenchConfig(workload=args.workload,
-                             threads_per_client=threads)
-        flock = run_flocktx(cfg)
-        fasst = run_fasst_txn(cfg)
-        results[("flocktx", threads)] = flock
-        results[("fasst", threads)] = fasst
+        flock = results[("flocktx", threads)]
+        fasst = results[("fasst", threads)]
         rows.append([threads, round(flock.mops, 3), round(fasst.mops, 3),
                      round(flock.p99_us, 1), round(fasst.p99_us, 1)])
     print_table("Figs 14/15: %s — FLockTX vs FaSST" % args.workload,
@@ -242,15 +251,24 @@ def cmd_fig11(args) -> None:
     from ..config import FlockConfig
     from ..workloads import BimodalSize
 
-    rows = []
     static_cfg = FlockConfig(max_aqp=100_000)
+    points = []
     for size in args.sizes:
         cfg = MicrobenchConfig(
             n_clients=args.clients, threads_per_client=32, outstanding=8,
             sizegen=BimodalSize(n_threads=32, large_size=size))
-        without = run_flock(cfg, qps_per_process=16,
-                            thread_scheduling=False, flock_cfg=static_cfg)
-        with_sched = run_flock(cfg, qps_per_process=16)
+        points.append(SweepPoint(
+            "fig11/nosched/s=%d" % size, run_flock, (cfg,),
+            {"qps_per_process": 16, "thread_scheduling": False,
+             "flock_cfg": static_cfg}))
+        points.append(SweepPoint(
+            "fig11/sched/s=%d" % size, run_flock, (cfg,),
+            {"qps_per_process": 16}))
+    merged = iter(run_sweep(points, default_jobs(args.jobs)))
+    rows = []
+    for size in args.sizes:
+        without = next(merged)[1]
+        with_sched = next(merged)[1]
         rows.append([size, round(without.mops, 2), round(with_sched.mops, 2),
                      round(with_sched.mops / max(without.mops, 1e-9), 2)])
     print_table("Fig 11: thread scheduling (90% 64B + 10% large)",
@@ -259,18 +277,27 @@ def cmd_fig11(args) -> None:
 
 def cmd_fig12(args) -> None:
     """Fig 12: node scalability with increasing client processes."""
+    points = []
+    for total in args.clients_list:
+        procs = max(1, total // args.nodes)
+        points.append(SweepPoint(
+            "fig12/2t1q/c=%d" % total, run_flock,
+            (MicrobenchConfig(n_clients=args.nodes,
+                              processes_per_client=procs,
+                              threads_per_client=2, outstanding=8),),
+            {"qps_per_process": 1}))
+        points.append(SweepPoint(
+            "fig12/1t1q/c=%d" % total, run_flock,
+            (MicrobenchConfig(n_clients=args.nodes,
+                              processes_per_client=procs,
+                              threads_per_client=1, outstanding=8),),
+            {"qps_per_process": 1}))
+    merged = iter(run_sweep(points, default_jobs(args.jobs)))
     results = {}
     rows = []
     for total in args.clients_list:
-        procs = max(1, total // args.nodes)
-        shared = run_flock(MicrobenchConfig(
-            n_clients=args.nodes, processes_per_client=procs,
-            threads_per_client=2, outstanding=8), qps_per_process=1)
-        one = run_flock(MicrobenchConfig(
-            n_clients=args.nodes, processes_per_client=procs,
-            threads_per_client=1, outstanding=8), qps_per_process=1)
-        results[("2t1q", total)] = shared
-        results[("1t1q", total)] = one
+        shared = results[("2t1q", total)] = next(merged)[1]
+        one = results[("1t1q", total)] = next(merged)[1]
         rows.append([total, round(one.mops, 2), round(shared.mops, 2),
                      round(shared.p99_us, 1)])
     print_table("Fig 12: node scalability",
@@ -281,13 +308,13 @@ def cmd_fig12(args) -> None:
 
 def cmd_fig16(args) -> None:
     """Figs 16-18: HydraList over FLock vs eRPC."""
+    results = sweep_index(args.threads, n_clients=args.clients,
+                          outstanding=args.outstanding,
+                          jobs=default_jobs(args.jobs))
     rows = []
     for threads in args.threads:
-        cfg = IndexBenchConfig(n_clients=args.clients,
-                               threads_per_client=threads,
-                               outstanding=args.outstanding)
-        flock = run_flock_index(cfg)
-        erpc = run_erpc_index(cfg)
+        flock = results[("flock", threads)]
+        erpc = results[("erpc", threads)]
         rows.append([threads, round(flock["total_mops"], 2),
                      round(erpc["total_mops"], 2),
                      round(flock["get"].median_us, 1),
@@ -305,7 +332,7 @@ def cmd_incast(args) -> None:
     if args.pfc_incast:
         from dataclasses import replace
         cfg.congestion = replace(cfg.congestion, pfc=True)
-    results = run_incast(cfg)
+    results = run_incast(cfg, jobs=default_jobs(args.jobs))
     rows = []
     for key in ("flock", "ud"):
         base = results["%s_base" % key]
@@ -365,6 +392,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate FLock paper experiments")
     parser.add_argument("--scale", type=float, default=None,
                         help="measurement-window multiplier")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="fan independent sweep points across N worker "
+                             "processes (default: serial; REPRO_JOBS env "
+                             "also sets it).  Results are byte-identical "
+                             "to a serial run; observability flags force "
+                             "serial execution — see docs/performance.md")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace-event JSON of every "
                              "traced RPC (open in ui.perfetto.dev)")

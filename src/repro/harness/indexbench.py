@@ -31,7 +31,8 @@ from .microbench import (
     bench_scale,
 )
 
-__all__ = ["IndexBenchConfig", "run_flock_index", "run_erpc_index"]
+__all__ = ["IndexBenchConfig", "run_flock_index", "run_erpc_index",
+           "sweep_index"]
 
 RPC_GET = 21
 RPC_SCAN = 22
@@ -206,3 +207,28 @@ def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None,
                    server_cpu=round(servers[0].cpu.utilization(), 3))
     _finish_audit(audited, sim, audit_reg, out["get"])
     return out
+
+
+def sweep_index(threads_list, *, n_clients: int = 22, outstanding: int = 8,
+                jobs: int = 1) -> dict:
+    """Figs. 16-18: HydraList over FLock vs eRPC across a thread ramp.
+
+    Returns ``{(system, threads): result-dict}``; each result dict is
+    exactly what :func:`run_flock_index` / :func:`run_erpc_index` return.
+    """
+    from .parallel import SweepPoint, run_sweep
+    points = []
+    for threads in threads_list:
+        cfg = IndexBenchConfig(n_clients=n_clients,
+                               threads_per_client=threads,
+                               outstanding=outstanding)
+        points.append(SweepPoint(
+            "fig16/flock/t=%d" % threads, run_flock_index, (cfg,)))
+        points.append(SweepPoint(
+            "fig16/erpc/t=%d" % threads, run_erpc_index, (cfg,)))
+    merged = iter(run_sweep(points, jobs))
+    results = {}
+    for threads in threads_list:
+        results[("flock", threads)] = next(merged)[1]
+        results[("erpc", threads)] = next(merged)[1]
+    return results

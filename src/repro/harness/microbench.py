@@ -46,6 +46,9 @@ __all__ = [
     "run_rc",
     "run_raw_reads",
     "run_ud_rpc",
+    "sweep_raw_reads",
+    "sweep_ud_rpc",
+    "sweep_flock_vs_erpc",
 ]
 
 ECHO_RPC = 1
@@ -425,3 +428,58 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
     )
     result.telemetry = tel
     return _finish_audit(audited, sim, audit_reg, result)
+
+
+# ---------------------------------------------------------------------------
+# Sweeps: the figure-level fan-outs (parallelizable via --jobs)
+# ---------------------------------------------------------------------------
+
+def sweep_raw_reads(qps_list, *, n_clients: int = 22,
+                    outstanding_per_qp: int = 4, jobs: int = 1) -> dict:
+    """Fig. 2a's QP ramp as an ordered ``{qps: RunResult}`` sweep."""
+    from .parallel import SweepPoint, run_sweep
+    points = [
+        SweepPoint("fig2a/qps=%d" % qps, run_raw_reads, (qps,),
+                   {"n_clients": n_clients,
+                    "outstanding_per_qp": outstanding_per_qp})
+        for qps in qps_list]
+    merged = run_sweep(points, jobs)
+    return {qps: result for qps, (_key, result) in zip(qps_list, merged)}
+
+
+def sweep_ud_rpc(senders_list, *, n_clients: int = 22, jobs: int = 1) -> dict:
+    """Fig. 2b's sender ramp as an ordered ``{senders: RunResult}``."""
+    from .parallel import SweepPoint, run_sweep
+    points = [
+        SweepPoint("fig2b/senders=%d" % n, run_ud_rpc, (n,),
+                   {"n_clients": n_clients})
+        for n in senders_list]
+    merged = run_sweep(points, jobs)
+    return {n: result for n, (_key, result) in zip(senders_list, merged)}
+
+
+def sweep_flock_vs_erpc(threads_list, *, n_clients: int = 23,
+                        outstanding: int = 1, jobs: int = 1) -> dict:
+    """Figs. 6-8: both systems across a thread ramp.
+
+    Returns ``{(system, outstanding, threads): RunResult}`` — the exact
+    key shape :func:`repro.harness.scorecards.scorecards_fig6_7_8`
+    consumes — with results identical to calling :func:`run_flock` /
+    :func:`run_erpc` in a serial loop.
+    """
+    from .parallel import SweepPoint, run_sweep
+    points = []
+    for threads in threads_list:
+        cfg = MicrobenchConfig(n_clients=n_clients,
+                               threads_per_client=threads,
+                               outstanding=outstanding)
+        points.append(SweepPoint(
+            "fig6/flock/t=%d" % threads, run_flock, (cfg,)))
+        points.append(SweepPoint(
+            "fig6/erpc/t=%d" % threads, run_erpc, (cfg,)))
+    merged = iter(run_sweep(points, jobs))
+    results = {}
+    for threads in threads_list:
+        results[("flock", outstanding, threads)] = next(merged)[1]
+        results[("erpc", outstanding, threads)] = next(merged)[1]
+    return results

@@ -1,0 +1,128 @@
+"""Parallel sweep executor: fan independent figure points across workers.
+
+Every figure in the reproduction is a *sweep*: a list of independent
+(config → RunResult) evaluations whose only shared state is the printed
+table at the end.  Each point is a pure function of its arguments and
+the inherited environment (``REPRO_BENCH_SCALE``, ``REPRO_AUDIT``, ...):
+all randomness comes from seeds carried in the config (or derived via
+:meth:`repro.sim.rand.Streams.child` from the point's stable identity),
+never from global state.  That purity is the whole contract — it is what
+makes ``--jobs N`` output byte-identical to a serial run, regardless of
+worker count, scheduling order, or machine.
+
+:func:`run_sweep` is the single entry point.  It takes an ordered list
+of :class:`SweepPoint`\\ s and returns their results *in input order*:
+
+* ``jobs <= 1`` (or a single point): run serially in-process — this is
+  exactly the code path the pre-parallel harness used, kept as the
+  reference semantics.
+* ``jobs > 1``: fan the points over a ``multiprocessing`` pool.  Workers
+  inherit the environment, execute points with ``chunksize=1`` (sweep
+  points have wildly different costs — Fig. 2a's 2816-QP point dwarfs
+  its 22-QP point), and ship back :class:`repro.harness.metrics.RunResult`
+  payloads (including audit reports) by pickling.
+
+Two deliberate guard rails:
+
+* **Observability forces serial.**  Spans and metrics accumulate in the
+  process-wide :func:`repro.obs.current_telemetry`; results computed in
+  a worker would leave their traces behind in that worker.  Rather than
+  silently dropping spans, ``run_sweep`` detects live telemetry and runs
+  the sweep serially (``--jobs`` still works for the common un-traced
+  bench-gate runs, which is where the wall-clock pain is).
+* **Telemetry never crosses the process boundary.**  Worker results are
+  scrubbed (`RunResult.telemetry` is per-process and unpicklable); audit
+  reports are plain data and travel intact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..obs import current_telemetry
+from .metrics import RunResult
+
+__all__ = ["SweepPoint", "run_sweep", "default_jobs"]
+
+#: Environment override for the default worker count (used by tests and
+#: CI to exercise the parallel path without threading a flag through).
+JOBS_ENV = "REPRO_JOBS"
+
+
+@dataclass
+class SweepPoint:
+    """One independent evaluation in a figure sweep.
+
+    ``key`` is the point's stable identity — it names the point in the
+    merged result list and is the natural argument to
+    ``Streams.child(key)`` for sweeps that derive per-point seed streams
+    rather than carrying explicit seeds in their configs.  ``fn`` must be
+    a module-level callable (it crosses the process boundary by pickle).
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def default_jobs(requested: int = None) -> int:
+    """Resolve the worker count: explicit flag > env > serial."""
+    if requested is not None:
+        return max(1, requested)
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def _scrub(result: Any) -> Any:
+    """Strip per-process telemetry handles before pickling a result.
+
+    Results can be bare :class:`RunResult`\\ s or containers of them (the
+    incast and index sweeps return dicts mixing results with scalars).
+    """
+    if isinstance(result, RunResult):
+        result.telemetry = None
+        return result
+    if isinstance(result, dict):
+        return {k: _scrub(v) for k, v in result.items()}
+    if isinstance(result, (list, tuple)):
+        return type(result)(_scrub(v) for v in result)
+    return result
+
+
+def _run_point(point: SweepPoint) -> Tuple[str, Any]:
+    """Worker-side shim: evaluate one point, return (key, result)."""
+    return point.key, _scrub(point.run())
+
+
+def run_sweep(points: Sequence[SweepPoint], jobs: int = 1
+              ) -> List[Tuple[str, Any]]:
+    """Evaluate every point; return ``[(key, result), ...]`` in input
+    order — identical for any ``jobs``."""
+    points = list(points)
+    jobs = default_jobs(jobs)
+    if jobs > 1 and current_telemetry() is not None:
+        # Spans/metrics must accumulate in this process; see module docs.
+        jobs = 1
+    if jobs <= 1 or len(points) <= 1:
+        return [(p.key, p.run()) for p in points]
+    # fork shares the warmed-up interpreter and environment on the
+    # platforms CI runs on; spawn is the portable fallback and works
+    # because every SweepPoint is pickled either way.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(jobs, len(points))) as pool:
+        return pool.map(_run_point, points, chunksize=1)

@@ -41,7 +41,8 @@ from .microbench import (
     bench_scale,
 )
 
-__all__ = ["TxnBenchConfig", "run_flocktx", "run_fasst_txn", "build_txn_servers"]
+__all__ = ["TxnBenchConfig", "run_flocktx", "run_fasst_txn",
+           "build_txn_servers", "sweep_txn"]
 
 
 @dataclass
@@ -245,3 +246,28 @@ def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None,
                      recv_drops=sum(f.recv_drops for f in fasst_servers))
     result.telemetry = tel
     return _finish_audit(audited, sim, audit_reg, result)
+
+
+def sweep_txn(threads_list, *, workload: str = "tatp", jobs: int = 1) -> dict:
+    """Figs. 14/15: FLockTX vs FaSST across a thread ramp.
+
+    Returns ``{(system, threads): RunResult}`` with the key shape the
+    fig14/fig15 scorecards consume; ``jobs > 1`` fans the independent
+    points across workers with identical results.
+    """
+    from .parallel import SweepPoint, run_sweep
+    points = []
+    for threads in threads_list:
+        cfg = TxnBenchConfig(workload=workload, threads_per_client=threads)
+        points.append(SweepPoint(
+            "fig14/flocktx/%s/t=%d" % (workload, threads),
+            run_flocktx, (cfg,)))
+        points.append(SweepPoint(
+            "fig14/fasst/%s/t=%d" % (workload, threads),
+            run_fasst_txn, (cfg,)))
+    merged = iter(run_sweep(points, jobs))
+    results = {}
+    for threads in threads_list:
+        results[("flocktx", threads)] = next(merged)[1]
+        results[("fasst", threads)] = next(merged)[1]
+    return results

@@ -33,6 +33,7 @@ class PcieLink:
         self._slots = Resource(sim, capacity=max(1, slots), name="pcie_slots")
         self.reads_issued = 0
         self.busy_ns = 0.0
+        self._obs = sim.instrumented
         metrics = sim.metrics
         self._m_reads = metrics.counter("pcie.reads")
         self._m_stall_ns = metrics.counter("pcie.stall_ns")
@@ -58,15 +59,17 @@ class PcieLink:
         attributes its in-flight wait when the span is flushed.
         """
         self.reads_issued += 1
-        self._m_reads.inc()
+        if self._obs:
+            self._m_reads.inc()
         queued_at = self.sim.now
         if span is not None:
             span.wait_begin("pcie_stall", queued_at)
         yield self._slots.acquire()
         try:
-            self._m_queue_ns.inc(self.sim.now - queued_at)
+            if self._obs:
+                self._m_queue_ns.inc(self.sim.now - queued_at)
+                self._m_stall_ns.inc(self.read_latency_ns)
             self.busy_ns += self.read_latency_ns
-            self._m_stall_ns.inc(self.read_latency_ns)
             yield self.sim.timeout(self.read_latency_ns)
         finally:
             self._slots.release()

@@ -59,7 +59,11 @@ class Rnic:
         #: the slack term in the CQE-conservation invariant.
         self.cqes_dma_pending = 0
         # Typed instruments (no-op singletons unless telemetry installed
-        # on the simulator before construction).
+        # on the simulator before construction).  ``_obs`` caches
+        # ``sim.instrumented`` once so the per-message hot path pays a
+        # single bool test instead of null-object calls (see
+        # docs/performance.md).
+        self._obs = sim.instrumented
         metrics = sim.metrics
         self._m_qp_hits = metrics.counter("rnic.qp_cache.hits")
         self._m_qp_misses = metrics.counter("rnic.qp_cache.misses")
@@ -112,13 +116,15 @@ class Rnic:
         hit/miss annotations.
         """
         if self.qp_cache.access(("qp", qpn)):
-            self._m_qp_hits.inc()
-            if faults.ACTIVE and "rnic.double_count_hit" in faults.ACTIVE:
+            if self._obs:
                 self._m_qp_hits.inc()
+                if faults.ACTIVE and "rnic.double_count_hit" in faults.ACTIVE:
+                    self._m_qp_hits.inc()
             if span is not None:
                 span.bump("qp_hits")
         else:
-            self._m_qp_misses.inc()
+            if self._obs:
+                self._m_qp_misses.inc()
             if span is not None:
                 span.bump("qp_misses")
                 stall_t0 = self.sim.now
@@ -128,9 +134,11 @@ class Rnic:
                 yield from self.pcie.read()
         for rkey in rkeys:
             if self.mtt_cache.access(("mr", rkey)):
-                self._m_mtt_hits.inc()
+                if self._obs:
+                    self._m_mtt_hits.inc()
             else:
-                self._m_mtt_misses.inc()
+                if self._obs:
+                    self._m_mtt_misses.inc()
                 if span is not None:
                     span.bump("mtt_misses")
                     stall_t0 = self.sim.now
@@ -174,8 +182,9 @@ class Rnic:
         self.messages_tx += 1
         self.bytes_tx += nbytes
         self.packets_tx += self.packets_for(nbytes)
-        self._m_tx.inc()
-        self._m_tx_bytes.inc(nbytes)
+        if self._obs:
+            self._m_tx.inc()
+            self._m_tx_bytes.inc(nbytes)
         if span is not None:
             span.add_phase("nic_tx", t0, self.sim.now)
 
@@ -192,7 +201,8 @@ class Rnic:
             yield self.sim.timeout(delay)
         yield from self._lookup(qpn, rkeys, span)
         self.messages_rx += 1
-        self._m_rx.inc()
+        if self._obs:
+            self._m_rx.inc()
         if span is not None:
             span.add_phase("nic_rx", t0, self.sim.now)
 
@@ -200,7 +210,8 @@ class Rnic:
         """DMA one completion entry to the host CQ (skipped when the work
         request is unsignaled; §7 selective signaling)."""
         self.cqes_generated += 1
-        self._m_cqes.inc()
+        if self._obs:
+            self._m_cqes.inc()
         self.cqes_dma_pending += 1
         yield self.sim.timeout(self.cfg.cqe_dma_ns)
         self.cqes_dma_pending -= 1

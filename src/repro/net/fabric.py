@@ -80,6 +80,7 @@ class Fabric:
         #: switch model and DCQCN are both on.
         self._dcqcn: Dict[Tuple[str, int], DcqcnState] = {}
         self.cnps_delivered = 0
+        self._obs = sim.instrumented
         metrics = sim.metrics
         self._m_messages = metrics.counter("net.messages")
         self._m_payload_bytes = metrics.counter("net.payload_bytes")
@@ -121,7 +122,8 @@ class Fabric:
         yield self.sim.timeout(self.cfg.propagation_ns)
         self.dcqcn_for(src_name, src_qpn).on_cnp(self.sim.now)
         self.cnps_delivered += 1
-        self._m_cnps.inc()
+        if self._obs:
+            self._m_cnps.inc()
 
     def transfer(
         self,
@@ -145,11 +147,13 @@ class Fabric:
         ``switch_queue`` / ``propagation`` / ``nic_rx`` phases.
         """
         n_packets = src.rnic.packets_for(nbytes)
-        self._m_messages.inc()
-        self._m_payload_bytes.inc(nbytes)
-        self._m_wire_bytes.inc(src.rnic.wire_bytes(nbytes))
-        self._m_header_bytes.inc(src.rnic.wire_bytes(nbytes) - nbytes)
-        self._m_packets.inc(n_packets)
+        if self._obs:
+            wire_bytes = src.rnic.wire_bytes(nbytes)
+            self._m_messages.inc()
+            self._m_payload_bytes.inc(nbytes)
+            self._m_wire_bytes.inc(wire_bytes)
+            self._m_header_bytes.inc(wire_bytes - nbytes)
+            self._m_packets.inc(n_packets)
         yield from src.rnic.tx_process(nbytes, src_qpn, rkeys, span=span)
         delay = self.cfg.propagation_ns + src.rnic.cfg.base_latency_ns
         if jitter_ns > 0:
@@ -164,11 +168,13 @@ class Fabric:
             if lost:
                 if not reliable:
                     self.messages_dropped += 1
-                    self._m_drops.inc()
+                    if self._obs:
+                        self._m_drops.inc()
                     return False
                 # RNIC-level retransmissions: invisible to software.
                 delay += self.retransmit_ns * lost
-                self._m_retransmits.inc(lost)
+                if self._obs:
+                    self._m_retransmits.inc(lost)
         marked = False
         if self.switch is not None:
             wire = src.rnic.wire_bytes(nbytes)
@@ -179,11 +185,13 @@ class Fabric:
                     break
                 if not reliable:
                     self.messages_dropped += 1
-                    self._m_drops.inc()
+                    if self._obs:
+                        self._m_drops.inc()
                     return False
                 # Tail drop on RC: hardware go-back-N resubmits the
                 # message after the retransmission timeout.
-                self._m_retransmits.inc()
+                if self._obs:
+                    self._m_retransmits.inc()
                 yield self.sim.timeout(self.retransmit_ns)
         if span is not None:
             span.add_phase("propagation", self.sim.now, self.sim.now + delay)

@@ -4,18 +4,42 @@ This module is the foundation of the whole reproduction: every piece of
 hardware (RNIC, CPU core, PCIe link), every network hop, and every
 application thread is a process running in virtual time on top of this
 kernel.  The design follows the classic event/process pattern (as in SimPy,
-which is not available offline): a binary heap of scheduled events drives
-generator-based processes that ``yield`` events to wait on them.
+which is not available offline): scheduled events drive generator-based
+processes that ``yield`` events to wait on them.
 
 Time is measured in integer-friendly floats of **nanoseconds**.  All
 ordering is deterministic: ties in time are broken by a monotonically
 increasing sequence number, so two runs with the same seed produce the same
 trace.
+
+The hot path is deliberately split in two (see ``docs/performance.md``):
+
+* **Zero-delay triggers** (CQ completions, credit returns, direct store
+  hand-offs, process kick-starts — the majority of all events in an RPC
+  simulation) bypass the binary heap entirely and land on an
+  *immediate-ready deque* of bare events, drained FIFO.  Any heap entry
+  sharing the current timestamp was necessarily pushed *before* the clock
+  reached it — i.e. before any current ready entry was appended — so the
+  rule "drain the heap while its head's time is ≤ now, then the deque"
+  reproduces the exact total order a single ``(time, seq)`` heap would
+  produce, without per-entry sequence numbers on the fast path.
+* **Delayed events** go through the classic ``(time, seq, event)`` heap.
+  ``seq`` is unique per simulator, so heap comparisons never fall through
+  to comparing :class:`Event` objects (which are deliberately unorderable).
+  A delay so small that ``now + delay`` rounds to ``now`` is routed to the
+  ready deque, keeping the invariant above airtight even under float
+  rounding.
+
+:meth:`Simulator.run` inlines the event dispatch loop — no per-event
+method calls beyond the callbacks themselves — while :meth:`Simulator.step`
+remains the observable single-step API with identical semantics.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from itertools import count
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..obs.registry import null_registry
@@ -55,8 +79,8 @@ class Event:
 
     An event starts *pending*; it becomes *triggered* when :meth:`succeed`
     or :meth:`fail` is called, at which point it is placed on the simulator
-    heap and its callbacks run when the loop reaches it.  Processes wait on
-    events by yielding them.
+    schedule and its callbacks run when the loop reaches it.  Processes
+    wait on events by yielding them.
     """
 
     __slots__ = ("sim", "callbacks", "_value", "_exc", "_triggered", "_processed")
@@ -98,7 +122,10 @@ class Event:
             raise SimulationError("event already triggered")
         self._triggered = True
         self._value = value
-        self.sim._schedule(self, delay)
+        if delay == 0.0:
+            self.sim._ready_append(self)
+        else:
+            self.sim._schedule(self, delay)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
@@ -117,7 +144,6 @@ class Event:
         if self._processed:
             fn(self)
         else:
-            assert self.callbacks is not None
             self.callbacks.append(fn)
 
     def _fire(self) -> None:
@@ -134,12 +160,25 @@ class Timeout(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError("negative timeout delay: %r" % delay)
-        super().__init__(sim)
-        self._triggered = True
+        # Flattened Event.__init__ + succeed: a Timeout is born triggered,
+        # and creating one is the single most common allocation in a run.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
+        self._exc = None
+        self._triggered = True
+        self._processed = False
+        if delay == 0.0:
+            sim._ready_append(self)
+        elif delay > 0:
+            when = sim.now + delay
+            if when > sim.now:
+                heapq.heappush(sim._heap, (when, sim._next_seq(), self))
+            else:
+                # delay too small to move the float clock: same instant
+                sim._ready_append(self)
+        else:
+            raise ValueError("negative timeout delay: %r" % delay)
 
 
 ProcessGen = Generator[Event, Any, Any]
@@ -153,9 +192,14 @@ class Process(Event):
     with its exception raised inside the generator).  The process itself is
     an event that fires when the generator returns, carrying the return
     value — so processes can wait on each other.
+
+    The resume path dispatches through bound callables precomputed at
+    construction (``gen.send`` / ``gen.throw``) and attaches itself to the
+    yielded target via its ``add_callback`` — duck typing instead of a
+    per-yield ``isinstance`` check.
     """
 
-    __slots__ = ("gen", "name", "_waiting_on")
+    __slots__ = ("gen", "name", "_waiting_on", "_send", "_throw", "_cb")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
         super().__init__(sim)
@@ -164,9 +208,14 @@ class Process(Event):
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
+        self._send = gen.send
+        self._throw = gen.throw
+        #: The resume callback, bound once — attaching ``self._resume``
+        #: directly would allocate a fresh bound method on every yield.
+        self._cb = self._resume
         # Kick-start at the current time.
         init = Event(sim)
-        init.add_callback(self._resume)
+        init.callbacks.append(self._cb)
         init.succeed()
 
     @property
@@ -184,11 +233,11 @@ class Process(Event):
         if waited is not None and not waited._processed:
             # Detach from the event we were waiting on; it may still fire
             # later but must not resume us twice.
-            if waited.callbacks is not None and self._resume in waited.callbacks:
-                waited.callbacks.remove(self._resume)
+            if waited.callbacks is not None and self._cb in waited.callbacks:
+                waited.callbacks.remove(self._cb)
         self._waiting_on = None
         interrupt_ev = Event(self.sim)
-        interrupt_ev.add_callback(self._resume)
+        interrupt_ev.callbacks.append(self._cb)
         interrupt_ev.fail(Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
@@ -197,17 +246,17 @@ class Process(Event):
             # same instant the process finished) must not resume a
             # completed generator.
             return
-        self._waiting_on = None
         try:
-            if event._exc is not None:
-                target = self.gen.throw(event._exc)
+            if event._exc is None:
+                target = self._send(event._value)
             else:
-                target = self.gen.send(event._value)
+                target = self._throw(event._exc)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
         except Interrupt:
-            # Interrupt escaped the generator: treat as cancellation.
+            # Interrupt escaped the generator: unhandled interruption is a
+            # cancellation, not a crash.
             self.succeed(None)
             return
         except BaseException as exc:
@@ -215,12 +264,22 @@ class Process(Event):
                 raise
             self.fail(exc)
             return
-        if not isinstance(target, Event):
+        # Fast-path dispatch: every legitimate yield target is an Event;
+        # reaching straight for its callback list replaces both the
+        # isinstance check and the bound add_callback call.
+        try:
+            cbs = target.callbacks
+        except AttributeError:
             raise SimulationError(
                 "process %r yielded %r (must yield Event)" % (self.name, target)
             )
         self._waiting_on = target
-        target.add_callback(self._resume)
+        if cbs is not None:
+            cbs.append(self._cb)
+        else:
+            # Already processed (yielded an event that has fired): resume
+            # immediately, as add_callback would.
+            self._resume(target)
 
 
 class _Condition(Event):
@@ -243,6 +302,25 @@ class _Condition(Event):
             ev: ev._value for ev in self.events if ev._processed and ev._exc is None
         }
 
+    def _detach(self) -> None:
+        """Remove this condition's callback from still-pending events.
+
+        Called as soon as the condition's outcome is decided: the losers
+        of an :class:`AnyOf` (or the not-yet-fired events of a failed
+        :class:`AllOf`) may stay pending for a long time — or forever —
+        and without the detach every decided condition would leave a dead
+        callback behind, growing those events' callback lists without
+        bound over a long sweep.
+        """
+        check = self._check
+        for ev in self.events:
+            cbs = ev.callbacks
+            if cbs is not None:
+                try:
+                    cbs.remove(check)
+                except ValueError:
+                    pass
+
     def _check(self, event: Event) -> None:
         raise NotImplementedError
 
@@ -259,6 +337,7 @@ class AnyOf(_Condition):
             self.fail(event._exc)
         else:
             self.succeed(self._results())
+        self._detach()
 
 
 class AllOf(_Condition):
@@ -271,6 +350,7 @@ class AllOf(_Condition):
             return
         if event._exc is not None:
             self.fail(event._exc)
+            self._detach()
             return
         self._n_fired += 1
         if self._n_fired == len(self.events):
@@ -278,7 +358,7 @@ class AllOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a heap of (time, seq, event) driving virtual time.
+    """The event loop: an immediate-ready deque + a heap of delayed events.
 
     Typical use::
 
@@ -296,8 +376,21 @@ class Simulator:
     def __init__(self, strict: bool = True):
         self.now: float = 0.0
         self.strict = strict
+        #: Delayed events: (fire time, seq, event) tuples.  ``seq`` is
+        #: unique, so comparisons never reach the Event in slot 2.
         self._heap: List[tuple] = []
-        self._seq = 0
+        #: Zero-delay events triggered at the current instant, drained
+        #: FIFO after every heap entry with time <= now.  Because heap
+        #: entries at the current timestamp always predate (in creation
+        #: order) every current ready entry, this reproduces the exact
+        #: total order of a single (time, seq) heap — see module docs.
+        self._ready = deque()
+        #: Bound ``self._ready.append``, cached once: zero-delay triggers
+        #: are the most common scheduling operation in an RPC run.
+        self._ready_append = self._ready.append
+        #: Tie-break counter for heap entries: a bound ``count().__next__``
+        #: is one C call instead of a load/add/store round trip.
+        self._next_seq = count(1).__next__
         self._n_events = 0
         #: Metrics registry consulted by instrumented components at
         #: construction time; :meth:`repro.obs.Telemetry.install` swaps in
@@ -316,19 +409,64 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------
 
+    @property
+    def instrumented(self) -> bool:
+        """True when a live registry or span log is installed.
+
+        Components consult this **once, at construction time** and cache
+        the answer, hoisting every ``metrics.enabled`` / ``spans.enabled``
+        test out of their per-event code — the uninstrumented hot path
+        pays a single cached-bool branch instead of attribute chains and
+        null-object calls.  Telemetry must therefore be installed before
+        the cluster is built (the harness runners guarantee this).
+        """
+        return self.metrics.enabled or self.spans.enabled
+
     def _schedule(self, event: Event, delay: float) -> None:
-        if delay < 0:
+        if delay == 0.0:
+            self._ready_append(event)
+        elif delay > 0:
+            when = self.now + delay
+            if when > self.now:
+                heapq.heappush(self._heap, (when, self._next_seq(), event))
+            else:
+                self._ready_append(event)
+        else:
             raise SimulationError("cannot schedule into the past")
-        self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
     def event(self) -> Event:
         """A fresh pending event to be triggered manually."""
-        return Event(self)
+        # Flattened Event.__init__ — sim.event() is a per-RPC allocation.
+        ev = Event.__new__(Event)
+        ev.sim = self
+        ev.callbacks = []
+        ev._value = None
+        ev._exc = None
+        ev._triggered = False
+        ev._processed = False
+        return ev
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` ns from now."""
-        return Timeout(self, delay, value)
+        # Flattened Timeout.__init__ — the most common allocation of all.
+        ev = Timeout.__new__(Timeout)
+        ev.sim = self
+        ev.callbacks = []
+        ev._value = value
+        ev._exc = None
+        ev._triggered = True
+        ev._processed = False
+        if delay == 0.0:
+            self._ready_append(ev)
+        elif delay > 0:
+            when = self.now + delay
+            if when > self.now:
+                heapq.heappush(self._heap, (when, self._next_seq(), ev))
+            else:
+                self._ready_append(ev)
+        else:
+            raise ValueError("negative timeout delay: %r" % delay)
+        return ev
 
     def spawn(self, gen: ProcessGen, name: str = "") -> Process:
         """Start a new process running ``gen``."""
@@ -351,34 +489,108 @@ class Simulator:
         """Count of events fired so far (for perf/diagnostic reporting)."""
         return self._n_events
 
-    def step(self) -> bool:
-        """Fire the next event; returns False when the heap is empty."""
-        if not self._heap:
-            return False
-        when, _seq, event = heapq.heappop(self._heap)
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the next event in (time, seq) order,
+        advancing the clock; None when nothing is scheduled."""
+        ready = self._ready
+        heap = self._heap
+        if ready:
+            # A heap entry fires before the ready queue only when it is
+            # overdue (time regression) or shares the current instant —
+            # in which case it predates every current ready entry.
+            if not heap or heap[0][0] > self.now:
+                return ready.popleft()
+        if not heap:
+            return None
+        when, _seq, event = heapq.heappop(heap)
         if when < self.now:
             self.time_regressions += 1
         self.now = when
+        return event
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when nothing is scheduled."""
+        event = self._pop_next()
+        if event is None:
+            return False
         self._n_events += 1
         event._fire()
         return True
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or virtual time reaches ``until``.
+        """Run until the schedule drains or virtual time reaches ``until``.
 
         When ``until`` is given, the clock is advanced exactly to it even
         if the last event fires earlier.
+
+        This is the kernel's hottest loop; it inlines event selection and
+        firing (the body of :meth:`step` and :meth:`Event._fire`) so the
+        per-event cost is the callbacks themselves plus a few local-variable
+        operations.  Semantics are identical to ``while self.step(): ...``.
         """
-        if until is None:
-            while self.step():
-                pass
-            return
-        if until < self.now:
+        if until is not None and until < self.now:
             raise SimulationError("until=%r is in the past (now=%r)" % (until, self.now))
         heap = self._heap
-        while heap and heap[0][0] <= until:
-            self.step()
-        self.now = until
+        ready = self._ready
+        popleft = ready.popleft
+        pop = heapq.heappop
+        n = self._n_events
+        try:
+            now = self.now  # mirror of self.now, for branch-free reads
+            if until is None:
+                # Drain loop: no window checks at all.
+                while True:
+                    if ready and (not heap or heap[0][0] > now):
+                        event = popleft()
+                    elif heap:
+                        head = pop(heap)
+                        when = head[0]
+                        if when < now:
+                            self.time_regressions += 1
+                        self.now = now = when
+                        event = head[2]
+                    else:
+                        break
+                    n += 1
+                    # Inlined Event._fire(); one callback is the norm.
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for fn in callbacks:
+                                fn(event)
+            else:
+                while True:
+                    if ready and (not heap or heap[0][0] > now):
+                        event = popleft()
+                    elif heap:
+                        when = heap[0][0]
+                        if when > until:
+                            break
+                        event = pop(heap)[2]
+                        if when < now:
+                            self.time_regressions += 1
+                        self.now = now = when
+                    else:
+                        break
+                    n += 1
+                    # Inlined Event._fire(); one callback is the norm.
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for fn in callbacks:
+                                fn(event)
+        finally:
+            self._n_events = n
+        if until is not None:
+            self.now = until
 
     def run_until_event(self, event: Event) -> Any:
         """Run until ``event`` fires; returns its value."""

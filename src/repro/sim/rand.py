@@ -27,6 +27,21 @@ class Streams:
         child_seed = (self.seed << 32) ^ zlib.crc32(name.encode())
         return random.Random(child_seed)
 
+    def child(self, point_id: str) -> "Streams":
+        """A derived :class:`Streams` uniquely determined by (seed, id).
+
+        The parallel sweep executor gives each sweep point a child stream
+        factory keyed by the point's stable identity, so the seeds a point
+        draws are a pure function of (root seed, point id) — independent
+        of which worker process runs it or in what order.  The same
+        derivation is used on the serial path, which is what makes
+        ``--jobs N`` output byte-identical to ``--jobs 1``.
+        """
+        child_seed = (self.seed << 32) ^ zlib.crc32(point_id.encode())
+        # Fold to a stable, positive 63-bit value so the child can itself
+        # derive grandchildren without unbounded seed growth.
+        return Streams(child_seed & 0x7FFFFFFFFFFFFFFF)
+
 
 class ZipfGenerator:
     """Zipfian key sampler over ``[0, n)`` (YCSB-style).

@@ -28,6 +28,9 @@ class Resource:
             resource.release()
     """
 
+    __slots__ = ("sim", "capacity", "name", "_in_use", "_waiters",
+                 "contended", "wait_ns")
+
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -60,7 +63,7 @@ class Resource:
         acquisition succeeds — so an acquirer still queued when the span
         is flushed at end of run keeps its in-flight wait.
         """
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
@@ -106,6 +109,8 @@ class SpinLock(Resource):
     "burn" shows up as serialization, which is the effect that matters.
     """
 
+    __slots__ = ("contended_acquires", "total_acquires")
+
     def __init__(self, sim: Simulator, name: str = ""):
         super().__init__(sim, capacity=1, name=name)
         self.contended_acquires = 0
@@ -121,6 +126,8 @@ class SpinLock(Resource):
 class Store:
     """An unbounded (or bounded) FIFO channel of items between processes."""
 
+    __slots__ = ("sim", "capacity", "items", "_getters", "_putters")
+
     def __init__(self, sim: Simulator, capacity: Optional[int] = None):
         self.sim = sim
         self.capacity = capacity
@@ -133,7 +140,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Event that fires once the item is in the store."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._getters:
             # Direct hand-off to the longest-waiting getter.
             self._getters.popleft().succeed(item)
@@ -157,7 +164,7 @@ class Store:
 
     def get(self) -> Event:
         """Event that fires with the next item."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self.items:
             item = self.items.popleft()
             if self._putters:
@@ -203,6 +210,9 @@ class TrackedStore(Store):
     default and the untracked paths delegate straight to :class:`Store`,
     so the perf-guard's null-telemetry contract is unaffected.
     """
+
+    __slots__ = ("track", "name", "accepted", "reaped", "wait_ns", "area",
+                 "arrivals", "_area_t")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None,
                  track: bool = False, name: str = ""):
@@ -302,6 +312,8 @@ class TokenBucket:
     Used to model hardware message-rate ceilings (e.g. an RNIC's packet
     processing rate) without simulating every pipeline stage.
     """
+
+    __slots__ = ("sim", "rate", "burst", "_tokens", "_last")
 
     def __init__(self, sim: Simulator, rate_per_ns: float, burst: float = 1.0):
         if rate_per_ns <= 0:

@@ -24,6 +24,8 @@ class CompletionQueue:
     def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = "cq"):
         self.sim = sim
         self.name = name
+        self._obs = sim.instrumented
+        self._trace = sim.spans.enabled
         metrics = sim.metrics
         # Queueing-theory accounting (arrival times, depth-time integral)
         # only when telemetry is live: the Little's-law auditor consumes
@@ -45,9 +47,10 @@ class CompletionQueue:
         """RNIC side: append a completion (drops + counts on overflow)."""
         if self._store.try_put(wc):
             self.pushed += 1
-            self._m_pushed.inc()
-            self._m_depth.observe(len(self._store))
-            if self.sim.spans.enabled and wc.span is not None:
+            if self._obs:
+                self._m_pushed.inc()
+                self._m_depth.observe(len(self._store))
+            if self._trace and wc.span is not None:
                 # Stamp CQ entry time; the reap side turns the residency
                 # into a ``cq_poll`` wait edge.  (Direct hand-off to a
                 # blocked getter stamps and reaps at the same instant,
@@ -57,7 +60,8 @@ class CompletionQueue:
             # A real overflowed CQ moves the QP to an error state; for the
             # simulation, counting the overflow is enough for tests.
             self.overflowed += 1
-            self._m_overflowed.inc()
+            if self._obs:
+                self._m_overflowed.inc()
 
     def _note_reap(self, wc: Completion) -> None:
         """Record how long the CQE sat before software picked it up."""
@@ -79,8 +83,9 @@ class CompletionQueue:
             out.append(wc)
         if out:
             # Completion batching: how many CQEs each successful poll reaps.
-            self._m_poll_batch.observe(len(out))
-            if self.sim.spans.enabled:
+            if self._obs:
+                self._m_poll_batch.observe(len(out))
+            if self._trace:
                 for wc in out:
                     self._note_reap(wc)
         return out
@@ -88,7 +93,7 @@ class CompletionQueue:
     def wait_pop(self) -> Event:
         """Event yielding the next completion (blocking poller)."""
         ev = self._store.get()
-        if self.sim.spans.enabled:
+        if self._trace:
             ev.add_callback(self._reap_cb)
         return ev
 

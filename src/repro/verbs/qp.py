@@ -82,6 +82,8 @@ class QueuePair:
         self.sends_posted = 0
         self.sends_completed = 0
         self.destroyed = False
+        self._obs = sim.instrumented
+        self._trace = sim.spans.enabled
         metrics = sim.metrics
         self._m_wrs = metrics.counter("verbs.wrs_posted")
         self._m_signaled = metrics.counter("verbs.wrs_signaled")
@@ -158,10 +160,11 @@ class QueuePair:
             if target is None:
                 raise VerbError("UD send requires a remote QP")
         self.sends_posted += 1
-        self._m_wrs.inc()
-        if wr.signaled:
-            self._m_signaled.inc()
-        if wr.span is None and self.sim.spans.enabled:
+        if self._obs:
+            self._m_wrs.inc()
+            if wr.signaled:
+                self._m_signaled.inc()
+        if wr.span is None and self._trace:
             # No upper layer attached a span: trace this WR on its own
             # (raw verbs paths — Fig. 2a reads, baseline RPCs).
             wr.span = self.sim.spans.begin(
@@ -181,8 +184,10 @@ class QueuePair:
                 wc.span = wr.span
             if not (faults.ACTIVE and "verbs.leak_cqe" in faults.ACTIVE):
                 self.send_cq.push(wc)
-            self.node.rnic.cqes_generated += 1
-            self.node.rnic._m_cqes.inc()
+            rnic = self.node.rnic
+            rnic.cqes_generated += 1
+            if rnic._obs:
+                rnic._m_cqes.inc()
 
     def _congestion_gate(self, wr: WorkRequest) -> Generator[Event, None, None]:
         """DCQCN pacing for RC flows under the switched-fabric model.
@@ -253,7 +258,8 @@ class QueuePair:
                 ))
             else:
                 target.recv_drops += 1
-                target._m_recv_drops.inc()
+                if target._obs:
+                    target._m_recv_drops.inc()
         wc = Completion(wr_id=wr.wr_id, verb=Verb.SEND, byte_len=wr.length,
                         qpn=self.qpn)
         if self.transport.reliable:

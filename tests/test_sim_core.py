@@ -294,3 +294,103 @@ class TestDeterminism:
             return out
 
         assert trace(seed) == trace(seed)
+
+
+class TestFastPathRegressions:
+    """Pins for the kernel fast-path refactor: condition-callback
+    detach, heap tie-breaking, and the ready-deque ordering rule."""
+
+    def test_anyof_detaches_loser_callbacks(self, sim):
+        """A long-lived event raced against many short ones must not
+        accumulate one dead callback per race (satellite: callback list
+        length is bounded)."""
+        never = sim.event()
+
+        def proc():
+            for _ in range(50):
+                yield sim.any_of([sim.timeout(1), never])
+            return len(never.callbacks)
+
+        assert run_gen(sim, proc()) <= 1
+
+    def test_allof_detaches_on_failure(self, sim):
+        """When one constituent fails, AllOf stops watching the rest."""
+        pending = sim.event()
+
+        def proc():
+            doomed = sim.event()
+            cond = sim.all_of([doomed, pending])
+            doomed.fail(RuntimeError("boom"))
+            try:
+                yield cond
+            except RuntimeError:
+                pass
+            return len(pending.callbacks)
+
+        assert run_gen(sim, proc()) == 0
+
+    def test_heap_ties_never_compare_events(self, sim):
+        """Same-time heap entries are ordered by sequence number alone;
+        Event deliberately defines no ordering, so a tie that fell
+        through to the event objects would raise TypeError."""
+        with pytest.raises(TypeError):
+            sim.event() < sim.event()
+
+        order = []
+
+        def waiter(tag, delay):
+            yield sim.timeout(delay)
+            order.append(tag)
+
+        # Five entries at the identical timestamp, spawned in order.
+        for i in range(5):
+            sim.spawn(waiter(i, 7.0))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_ready_deque_preserves_heap_first_order(self, sim):
+        """A heap entry scheduled *before* the clock reached t must fire
+        before any zero-delay event created *at* t — the invariant that
+        lets ready-deque entries skip sequence numbers entirely."""
+        order = []
+        wake = sim.event()
+
+        def first():
+            yield sim.timeout(5.0)
+            order.append("first")
+            wake.succeed()  # zero-delay: goes on the ready deque
+
+        def second():
+            yield sim.timeout(5.0)  # same timestamp, pushed before t=5
+            order.append("second")
+
+        def third():
+            yield wake
+            order.append("third")
+
+        sim.spawn(first())
+        sim.spawn(second())
+        sim.spawn(third())
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_tiny_delay_rounding_keeps_order(self, sim):
+        """A positive delay that rounds to now (now + d == now) must
+        still fire after already-queued same-time work, not dodge the
+        ordering rule via a stale heap entry."""
+        order = []
+
+        def proc():
+            base = 1e18
+            yield sim.timeout(base)
+            yield sim.timeout(1e-9)  # rounds to now at this magnitude
+            order.append("rounded")
+
+        def other():
+            yield sim.timeout(1e18)
+            order.append("peer")
+
+        sim.spawn(proc())
+        sim.spawn(other())
+        sim.run()
+        assert order == ["peer", "rounded"]
