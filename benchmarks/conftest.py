@@ -17,6 +17,12 @@ The invariant auditors run on every ``test_fig*`` benchmark (the
 ``REPRO_AUDIT`` environment variable is forced on for those modules), so
 a figure whose bookkeeping drifts fails even when its headline numbers
 still look plausible.
+
+Every bench session that produced scorecards is also appended to the
+run-history store (``repro.obs.runstore``) with its git context, so
+``python -m repro.harness.cli runs list`` / ``runs diff`` can navigate
+and compare past sessions.  Set ``REPRO_RUNSTORE=0`` to opt out;
+``REPRO_RUNSTORE_DIR`` relocates the store.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ import pytest
 
 from repro.harness import bench_scale, format_table
 from repro.obs.audit import AUDIT_ENV
+from repro.obs.runstore import RunStore
 
 _TABLES: Dict[str, str] = {}
 _SCORECARDS: List[object] = []
@@ -93,6 +100,26 @@ def _merge_results(tables: Dict[str, str]) -> str:
     return "\n\n".join(sections) + "\n"
 
 
+def _record_run(terminalreporter) -> None:
+    """Append this bench session to the run-history store.
+
+    Best-effort by design: history is a convenience, and a read-only
+    filesystem or exotic CI sandbox must never fail the benchmarks
+    themselves.
+    """
+    if os.environ.get("REPRO_RUNSTORE", "1") == "0":
+        return
+    try:
+        rec = RunStore().record(
+            _SCORECARDS, label="bench@%s" % bench_scale(),
+            meta={"source": "pytest-benchmarks"})
+        terminalreporter.write_line(
+            "run store: recorded run %d (%d figure(s), config %s)"
+            % (rec.run_id, len(rec.figures), rec.fingerprint))
+    except OSError as exc:  # pragma: no cover - depends on host fs
+        terminalreporter.write_line("run store: not recorded (%s)" % exc)
+
+
 def pytest_terminal_summary(terminalreporter):
     if _SCORECARDS:
         os.makedirs(SCORECARD_DIR, exist_ok=True)
@@ -103,6 +130,7 @@ def pytest_terminal_summary(terminalreporter):
                 "scorecard %s: %s (%s)"
                 % (scorecard.figure, path,
                    "PASS" if scorecard.passed else "FAIL"))
+        _record_run(terminalreporter)
     if not _TABLES:
         return
     terminalreporter.write_line("")

@@ -30,6 +30,10 @@ class ReadClient:
         self.read_size = read_size
         self.outstanding_per_qp = outstanding_per_qp
         self.completed = 0
+        #: Optional ``(started_ns, now_ns)`` callback fired on every
+        #: successful read — purely passive (no events, no RNG), used by
+        #: the harness for windowed SLO latency timelines.
+        self.on_complete = None
         self.qps: List[QueuePair] = []
         for _ in range(n_qps):
             cqp = QueuePair(sim, node, fabric, Transport.RC)
@@ -45,6 +49,7 @@ class ReadClient:
 
     def _reader(self, qp: QueuePair) -> Generator[Event, None, None]:
         while True:
+            started = self.sim.now
             wc = yield qp.post_send(WorkRequest(
                 verb=Verb.READ, length=self.read_size,
                 remote_addr=self.region.addr, rkey=self.region.rkey,
@@ -52,3 +57,5 @@ class ReadClient:
             ))
             if wc.ok:
                 self.completed += 1
+                if self.on_complete is not None:
+                    self.on_complete(started, self.sim.now)

@@ -63,20 +63,25 @@ ignores both flags for its baseline legs.
 from __future__ import annotations
 
 import argparse
+import glob
+import json
 import os
 import sys
 from typing import List
 
 from ..obs import (
+    RunStore,
     Telemetry,
     attribute,
     attribution_report,
     compare_dirs,
     disable,
     enable,
+    faults,
     folded_stacks,
     format_attribution,
     format_breakdown,
+    load_scorecard,
     what_if_all,
     write_chrome_trace,
 )
@@ -126,6 +131,36 @@ def _emit_scorecard(args, sc) -> None:
                                         "PASS" if sc.passed else "FAIL"))
 
 
+def _slo_label(key) -> str:
+    """Stable label for a sweep key in the SLO timeline export."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _collect_slo(args, results) -> None:
+    """Gather each run's windowed SLO report for ``--slo-timeline``.
+
+    ``results`` is a figure's sweep dict; values may be RunResults or
+    one-level-nested dicts of RunResults (the index benchmark's shape).
+    Entries without a timeline (derived floats, legacy results) are
+    skipped.  Collection is cheap, so it runs regardless of the flag and
+    :func:`main` decides whether to write the file.
+    """
+    blocks = getattr(args, "_slo_blocks", None)
+    if blocks is None:
+        blocks = args._slo_blocks = {}
+    for key, value in results.items():
+        slo = getattr(value, "slo", None)
+        if slo is not None:
+            blocks[_slo_label(key)] = slo
+        elif isinstance(value, dict):
+            for sub, nested in value.items():
+                nslo = getattr(nested, "slo", None)
+                if nslo is not None:
+                    blocks[_slo_label(key) + "/" + str(sub)] = nslo
+
+
 def cmd_fig2a(args) -> None:
     """Fig 2(a): RC read scaling sweep."""
     results = sweep_raw_reads(args.qps, n_clients=args.clients,
@@ -135,6 +170,7 @@ def cmd_fig2a(args) -> None:
             for qps, result in results.items()]
     print_table("Fig 2(a): RC read throughput vs #QPs",
                 ["#QPs", "Mops", "cache miss"], rows)
+    _collect_slo(args, results)
     _emit_scorecard(args, scorecard_fig2a(results))
 
 
@@ -146,6 +182,7 @@ def cmd_fig2b(args) -> None:
             for senders, result in results.items()]
     print_table("Fig 2(b): UD RPC throughput vs #senders",
                 ["#senders", "Mops", "server CPU"], rows)
+    _collect_slo(args, results)
 
 
 def cmd_fig6(args) -> None:
@@ -164,6 +201,7 @@ def cmd_fig6(args) -> None:
                 % args.outstanding,
                 ["threads", "FLock Mops", "eRPC Mops", "FLock med",
                  "eRPC med", "FLock p99", "eRPC p99"], rows)
+    _collect_slo(args, results)
     for sc in scorecards_fig6_7_8(results):
         _emit_scorecard(args, sc)
 
@@ -195,6 +233,7 @@ def cmd_fig9(args) -> None:
                      round(results[("farm4", threads)].mops, 2)])
     print_table("Fig 9: sharing approaches",
                 ["threads", "FLock", "no-share", "FaRM-2", "FaRM-4"], rows)
+    _collect_slo(args, results)
     _emit_scorecard(args, scorecard_fig9(results))
 
 
@@ -223,6 +262,7 @@ def cmd_fig10(args) -> None:
     print_table("Fig 10: coalescing impact",
                 ["outstanding", "off Mops", "on Mops", "speedup",
                  "reqs/msg"], rows)
+    _collect_slo(args, results)
     _emit_scorecard(args, scorecard_fig10(results))
 
 
@@ -239,6 +279,7 @@ def cmd_fig14(args) -> None:
     print_table("Figs 14/15: %s — FLockTX vs FaSST" % args.workload,
                 ["threads", "FLockTX Mtxn/s", "FaSST Mtxn/s",
                  "FLockTX p99", "FaSST p99"], rows)
+    _collect_slo(args, results)
     builder = scorecard_fig14 if args.workload == "tatp" else None
     if builder is None:
         from .scorecards import scorecard_fig15
@@ -266,13 +307,15 @@ def cmd_fig11(args) -> None:
             {"qps_per_process": 16}))
     merged = iter(run_sweep(points, default_jobs(args.jobs)))
     rows = []
+    results = {}
     for size in args.sizes:
-        without = next(merged)[1]
-        with_sched = next(merged)[1]
+        without = results[("nosched", size)] = next(merged)[1]
+        with_sched = results[("sched", size)] = next(merged)[1]
         rows.append([size, round(without.mops, 2), round(with_sched.mops, 2),
                      round(with_sched.mops / max(without.mops, 1e-9), 2)])
     print_table("Fig 11: thread scheduling (90% 64B + 10% large)",
                 ["large B", "no-sched Mops", "sched Mops", "speedup"], rows)
+    _collect_slo(args, results)
 
 
 def cmd_fig12(args) -> None:
@@ -303,6 +346,7 @@ def cmd_fig12(args) -> None:
     print_table("Fig 12: node scalability",
                 ["#clients", "1t/1QP Mops", "2t/1QP Mops", "2t/1QP p99 us"],
                 rows)
+    _collect_slo(args, results)
     _emit_scorecard(args, scorecard_fig12(results))
 
 
@@ -322,6 +366,7 @@ def cmd_fig16(args) -> None:
     print_table("Figs 16-18: HydraList — FLock vs eRPC",
                 ["threads", "FLock Mops", "eRPC Mops", "FLock get med",
                  "eRPC get med"], rows)
+    _collect_slo(args, results)
 
 
 def cmd_incast(args) -> None:
@@ -346,6 +391,7 @@ def cmd_incast(args) -> None:
                 % (args.senders, args.threads),
                 ["system", "base Mops", "cong Mops", "retention",
                  "drops", "marks", "pauses"], rows)
+    _collect_slo(args, results)
     _emit_scorecard(args, scorecard_incast(results))
 
 
@@ -383,6 +429,79 @@ def cmd_bench_compare(args) -> int:
     report = compare_dirs(args.baseline, args.current, figures=args.figures)
     print(report.format())
     return 0 if report.ok else 1
+
+
+def _runstore(args) -> RunStore:
+    """The run store the ``runs`` subcommands operate on."""
+    return RunStore(args.store)
+
+
+def cmd_runs_list(args) -> int:
+    """List every recorded run."""
+    records = _runstore(args).list()
+    if not records:
+        print("run store is empty (%s)" % _runstore(args).path)
+        return 0
+    print_table("run history",
+                ["id", "when", "label", "commit", "config", "figures",
+                 "checks"],
+                [rec.summary_row() for rec in records])
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    """Show one run's scorecards in full."""
+    try:
+        rec = _runstore(args).get(args.ref)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 1
+    head = rec.summary_row()
+    print("run %s  %s  label=%s  commit=%s  config=%s" % (
+        head[0], head[1], head[2], head[3], head[4]))
+    for figure in rec.figures:
+        print()
+        print(rec.scorecard(figure).format())
+    return 0
+
+
+def cmd_runs_diff(args) -> int:
+    """Diff run B against run A's tolerances; exit 1 on regression."""
+    try:
+        report = _runstore(args).diff(args.a, args.b)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 1
+    print("runs diff %s -> %s" % (args.a, args.b))
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def cmd_runs_record(args) -> int:
+    """Record a directory of BENCH_*.json scorecards as one run."""
+    paths = sorted(glob.glob(os.path.join(args.dir, "BENCH_*.json")))
+    if not paths:
+        print("no BENCH_*.json scorecards in %s" % args.dir)
+        return 1
+    rec = _runstore(args).record([load_scorecard(p) for p in paths],
+                                 label=args.label)
+    print("recorded run %d: %d figure(s) (%s), config %s"
+          % (rec.run_id, len(rec.figures), ", ".join(rec.figures),
+             rec.fingerprint))
+    return 0
+
+
+def cmd_runs_query(args) -> int:
+    """Filter run history by field and metric expressions."""
+    matches = _runstore(args).query(args.exprs)
+    if not matches:
+        print("no runs match: %s" % " ".join(args.exprs))
+        return 0
+    print_table("runs matching: %s" % " ".join(args.exprs),
+                ["id", "when", "label", "commit", "config", "figures",
+                 "checks"],
+                [rec.summary_row() for rec in matches])
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -433,6 +552,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scorecard", metavar="DIR", default=None,
                         help="write BENCH_<figure>.json paper-fidelity "
                              "scorecards into DIR")
+    parser.add_argument("--slo-timeline", metavar="FILE", default=None,
+                        help="write every run's windowed SLO timeline "
+                             "(per-window p50/p99/p999, goodput, counter "
+                             "deltas, threshold violations) as JSON")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("fig2a", help="RC read scaling (Fig 2a)")
@@ -507,6 +630,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="restrict the comparison to these figures")
     p.set_defaults(fn=cmd_bench_compare)
 
+    p = sub.add_parser("runs", help="queryable run history: list / show "
+                                    "/ diff / record / query")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="run-store directory (default: "
+                        "benchmarks/runstore, or REPRO_RUNSTORE_DIR)")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    rp = runs_sub.add_parser("list", help="list recorded runs")
+    rp.set_defaults(fn=cmd_runs_list)
+
+    rp = runs_sub.add_parser("show", help="print one run's scorecards")
+    rp.add_argument("ref", help="run id (e.g. 4 or run:4)")
+    rp.set_defaults(fn=cmd_runs_show)
+
+    rp = runs_sub.add_parser(
+        "diff", help="compare run B against run A's tolerances "
+                     "(exit 1 when B regresses)")
+    rp.add_argument("a", help="baseline run id")
+    rp.add_argument("b", help="candidate run id")
+    rp.set_defaults(fn=cmd_runs_diff)
+
+    rp = runs_sub.add_parser(
+        "record", help="append a directory of BENCH_*.json scorecards "
+                       "to the run history")
+    rp.add_argument("dir", help="scorecard directory to record")
+    rp.add_argument("--label", default="",
+                    help="free-form label for the run")
+    rp.set_defaults(fn=cmd_runs_record)
+
+    rp = runs_sub.add_parser(
+        "query", help="filter runs: label=nightly figure=fig2a "
+                      "fig2a.peak_mops>40 ...")
+    rp.add_argument("exprs", nargs="+", metavar="EXPR")
+    rp.set_defaults(fn=cmd_runs_query)
+
     p = sub.add_parser("list", help="list available experiments")
     p.set_defaults(fn=lambda args: print("\n".join(
         sorted(c for c in sub.choices if c != "list"))))
@@ -525,14 +683,30 @@ def main(argv: List[str] = None) -> int:
         os.environ[CONGESTION_ENV] = "1"
     if args.pfc:
         os.environ[PFC_ENV] = "1"
-    observing = bool(args.trace or args.metrics or args.breakdown
-                     or args.attribution or args.attribution_json
-                     or args.critical_path)
-    telemetry = enable(Telemetry()) if observing else None
+    # Spans must accumulate in-process (forces sweeps serial); a
+    # metrics-only run can keep --jobs parallelism because sketches and
+    # counters merge exactly across workers.
+    wants_spans = bool(args.trace or args.breakdown or args.attribution
+                       or args.attribution_json or args.critical_path)
+    observing = wants_spans or bool(args.metrics)
+    telemetry = (enable(Telemetry(wants_spans=wants_spans))
+                 if observing else None)
+    injected_faults = faults.inject_from_env()
+    if injected_faults:
+        print("fault injection active: %s" % ", ".join(injected_faults))
     try:
         rc = args.fn(args) or 0
     finally:
+        for name in injected_faults:
+            faults.clear(name)
         disable()
+    if getattr(args, "slo_timeline", None):
+        blocks = getattr(args, "_slo_blocks", {})
+        with open(args.slo_timeline, "w") as fh:
+            json.dump(blocks, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("wrote SLO timelines: %s (%d runs)"
+              % (args.slo_timeline, len(blocks)))
     if telemetry is not None:
         if args.breakdown:
             print()

@@ -159,7 +159,7 @@ def run_incast_flock(cfg: IncastConfig, *, congested: bool,
                           name="incast-worker")
 
     warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     degree = (sum(h.mean_coalescing_degree() for h in handles)
               / len(handles) if handles else 1.0)
     extras = _switch_extras(fabric)
@@ -217,7 +217,7 @@ def run_incast_ud(cfg: IncastConfig, *, congested: bool,
                           name="incast-worker")
 
     warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     extras = _switch_extras(fabric)
     result = recorder.result(
         system="ud-rpc",

@@ -22,6 +22,7 @@ from ..baselines import ErpcEndpoint, ErpcServer
 from ..config import ClusterConfig, FlockConfig
 from ..flock import FlockNode
 from ..net import build_cluster
+from ..obs.windows import attach_switch_sources, slo_timeline
 from ..sim import Simulator, Streams
 from .metrics import Recorder, RunResult
 from .microbench import (
@@ -83,10 +84,15 @@ def _handlers(index: HydraList, cfg: IndexBenchConfig):
     return get_handler, scan_handler
 
 
-def _run(sim: Simulator, cfg: IndexBenchConfig, recorders: Dict[str, Recorder]):
+def _run(sim: Simulator, cfg: IndexBenchConfig, recorders: Dict[str, Recorder],
+         fabric=None):
     warmup, measure = cfg.durations()
     for recorder in recorders.values():
         recorder.open_window(warmup, warmup + measure)
+        timeline = slo_timeline(warmup, warmup + measure)
+        if fabric is not None:
+            attach_switch_sources(timeline, fabric)
+        recorder.attach_slo(timeline)
     sim.run(until=warmup + measure)
 
 
@@ -150,7 +156,7 @@ def run_flock_index(cfg: IndexBenchConfig,
                 sim.spawn(worker(fnode, handle, t_idx, rng),
                           name="hydra-worker")
 
-    _run(sim, cfg, recorders)
+    _run(sim, cfg, recorders, fabric)
     out = _results(recorders, sim, "flock", telemetry=tel,
                    server_cpu=round(servers[0].cpu.utilization(), 3))
     _finish_audit(audited, sim, audit_reg, out["get"])
@@ -202,7 +208,7 @@ def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None,
                 sim.spawn(worker(endpoint, server_qp, rng),
                           name="hydra-worker")
 
-    _run(sim, cfg, recorders)
+    _run(sim, cfg, recorders, fabric)
     out = _results(recorders, sim, "erpc", telemetry=tel,
                    server_cpu=round(servers[0].cpu.utilization(), 3))
     _finish_audit(audited, sim, audit_reg, out["get"])

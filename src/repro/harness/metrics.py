@@ -26,12 +26,21 @@ class Recorder:
         self.ops = 0
         self.latencies_ns: List[float] = []
         self.total_ops = 0
+        #: Optional :class:`repro.obs.windows.SloTimeline` fed by
+        #: :meth:`record` (passive — never schedules events).
+        self.slo_timeline = None
 
     def open_window(self, start: float, end: float) -> None:
         if end <= start:
             raise ValueError("empty measurement window")
         self.window_start = start
         self.window_end = end
+
+    def attach_slo(self, timeline) -> None:
+        """Attach a windowed SLO timeline; every measured completion is
+        also observed by the timeline, and :meth:`result` embeds its
+        report as ``RunResult.slo``."""
+        self.slo_timeline = timeline
 
     def record(self, started_ns: float, extra: float = 0.0) -> None:
         """Record one completed op that began at ``started_ns``."""
@@ -40,15 +49,20 @@ class Recorder:
         if self.window_start is None or not (self.window_start <= now < self.window_end):
             return
         self.ops += 1
-        self.latencies_ns.append(now - started_ns + extra)
+        latency = now - started_ns + extra
+        self.latencies_ns.append(latency)
+        if self.slo_timeline is not None:
+            self.slo_timeline.observe(now, latency)
 
     def result(self, **extras) -> "RunResult":
         if self.window_start is None:
             raise RuntimeError("measurement window was never opened")
         duration = self.window_end - self.window_start
+        slo = (self.slo_timeline.report()
+               if self.slo_timeline is not None else None)
         return RunResult(ops=self.ops, duration_ns=duration,
                          latency=summarize_latencies(self.latencies_ns),
-                         extras=dict(extras))
+                         extras=dict(extras), slo=slo)
 
     def cdf_us(self, points: int = 20):
         """Latency CDF as (percentile, µs) pairs — Figs. 7/8-style curves."""
@@ -75,6 +89,11 @@ class RunResult:
     #: End-of-run :class:`repro.obs.AuditReport` (None unless the run
     #: was audited via ``--audit`` / ``REPRO_AUDIT`` / ``audit=True``).
     audit_report: Optional[object] = field(default=None, repr=False)
+    #: Windowed SLO timeline report (plain JSON-safe dict from
+    #: :meth:`repro.obs.windows.SloTimeline.report`); None when no
+    #: timeline was attached.  Unlike telemetry this survives the
+    #: parallel executor's pickle boundary.
+    slo: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     @property
     def mops(self) -> float:

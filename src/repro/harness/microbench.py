@@ -34,6 +34,7 @@ from ..obs import (
     current_telemetry,
     run_audit,
 )
+from ..obs.windows import attach_switch_sources, slo_timeline
 from ..sim import Simulator
 from ..workloads import FixedSize
 from .metrics import Recorder, RunResult
@@ -147,8 +148,17 @@ def _echo_handler(resp_size: int, handler_ns: float):
 
 
 def _run_window(sim: Simulator, recorder: Recorder, warmup: float,
-                measure: float) -> None:
+                measure: float, fabric=None) -> None:
+    """Open the measurement window, attach the run's SLO timeline (with
+    switch counter sources when the fabric has a congestion switch), and
+    drive the sim to the window's end.  The timeline is purely passive:
+    it observes the recorder's completions without scheduling events or
+    drawing randomness, so results are unchanged by its presence."""
     recorder.open_window(warmup, warmup + measure)
+    timeline = slo_timeline(warmup, warmup + measure)
+    if fabric is not None:
+        attach_switch_sources(timeline, fabric)
+    recorder.attach_slo(timeline)
     sim.run(until=warmup + measure)
 
 
@@ -205,7 +215,7 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
                               name="bench-worker")
 
     warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     degree = (sum(h.mean_coalescing_degree() for h in handles) / len(handles)
               if handles else 1.0)
     result = recorder.result(
@@ -264,7 +274,7 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
                               name="erpc-worker")
 
     warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     result = recorder.result(
         system="erpc",
         server_cpu=round(servers[0].cpu.utilization(), 3),
@@ -322,7 +332,7 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
                           name="rc-worker")
 
     warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     result = recorder.result(
         system="rc-%dtpq" % threads_per_qp,
         server_cpu=round(servers[0].cpu.utilization(), 3),
@@ -351,17 +361,24 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
     servers, clients, fabric = build_cluster(sim, cluster)
     region = servers[0].memory.register(1 << 20)
 
+    scale = bench_scale()
+    warmup, measure = warmup_ns * scale, measure_ns * scale
+    timeline = attach_switch_sources(slo_timeline(warmup, warmup + measure),
+                                     fabric)
+
     per_client = max(1, total_qps // n_clients)
     read_clients: List[ReadClient] = []
     for node in clients:
         rc = ReadClient(sim, node, fabric, servers[0], region,
                         n_qps=per_client, read_size=read_size,
                         outstanding_per_qp=outstanding_per_qp)
+        # Raw reads have no Recorder; the passive completion hook feeds
+        # the SLO timeline so Fig. 2a's cliff is visible *within* a run.
+        rc.on_complete = lambda started, now: timeline.observe(
+            now, now - started)
         rc.start()
         read_clients.append(rc)
 
-    scale = bench_scale()
-    warmup, measure = warmup_ns * scale, measure_ns * scale
     sim.run(until=warmup)
     before = sum(rc.completed for rc in read_clients)
     sim.run(until=warmup + measure)
@@ -377,7 +394,8 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                                servers[0].rnic.qp_cache.stats.miss_ratio, 4),
                            "pcie_reads": servers[0].rnic.pcie.reads_issued,
                        },
-                       telemetry=tel)
+                       telemetry=tel,
+                       slo=timeline.report())
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -418,7 +436,7 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
 
     scale = bench_scale()
     warmup, measure = warmup_ns * scale, measure_ns * scale
-    _run_window(sim, recorder, warmup, measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     result = recorder.result(
         system="ud-rpc",
         n_senders=per_client * n_clients,

@@ -24,15 +24,22 @@ of :class:`SweepPoint`\\ s and returns their results *in input order*:
 
 Two deliberate guard rails:
 
-* **Observability forces serial.**  Spans and metrics accumulate in the
-  process-wide :func:`repro.obs.current_telemetry`; results computed in
-  a worker would leave their traces behind in that worker.  Rather than
-  silently dropping spans, ``run_sweep`` detects live telemetry and runs
-  the sweep serially (``--jobs`` still works for the common un-traced
-  bench-gate runs, which is where the wall-clock pain is).
-* **Telemetry never crosses the process boundary.**  Worker results are
-  scrubbed (`RunResult.telemetry` is per-process and unpicklable); audit
-  reports are plain data and travel intact.
+* **Span observability forces serial.**  Spans accumulate in the
+  process-wide :func:`repro.obs.current_telemetry` and only exist in
+  the process that recorded them; results computed in a worker would
+  leave their traces behind.  Rather than silently dropping spans,
+  ``run_sweep`` detects a spans-wanting telemetry and runs the sweep
+  serially.  A *metrics-only* telemetry
+  (``Telemetry(wants_spans=False)``, what the CLI builds for a bare
+  ``--metrics``) keeps ``--jobs`` parallelism: every point — serial or
+  parallel alike — runs against a fresh per-point registry whose
+  exported state (integer counters, exactly-mergeable quantile
+  sketches) is folded into the parent registry *in input order*, so the
+  merged snapshot is byte-identical for any worker count.
+* **Span telemetry never crosses the process boundary.**  Worker
+  results are scrubbed (`RunResult.telemetry` is per-process and
+  unpicklable); audit reports, SLO timelines, and registry states are
+  plain data and travel intact.
 """
 
 from __future__ import annotations
@@ -42,7 +49,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
-from ..obs import current_telemetry
+from ..obs import Telemetry, current_telemetry, disable, enable
 from .metrics import RunResult
 
 __all__ = ["SweepPoint", "run_sweep", "default_jobs"]
@@ -106,23 +113,74 @@ def _run_point(point: SweepPoint) -> Tuple[str, Any]:
     return point.key, _scrub(point.run())
 
 
+def _run_point_fresh(point: SweepPoint) -> Tuple[str, Any, dict]:
+    """Evaluate one point against a fresh metrics-only telemetry.
+
+    The point runs with its own registry regardless of which process
+    (and in pooled runs, which reused worker) executes it, and the
+    registry's exported state travels home with the result.  Folding
+    the states in input order makes the parent's merged registry a pure
+    function of the point list — the ``--jobs N`` byte-identity
+    contract, extended to metrics.  The previously current telemetry is
+    restored afterwards (workers are reused across points; leaking a
+    point's registry into the next would double-count).
+    """
+    prev = current_telemetry()
+    fresh = enable(Telemetry(wants_spans=False))
+    try:
+        key, result = _run_point(point)
+    finally:
+        if prev is not None:
+            enable(prev)
+        else:
+            disable()
+    return key, result, fresh.registry.export_state()
+
+
 def run_sweep(points: Sequence[SweepPoint], jobs: int = 1
               ) -> List[Tuple[str, Any]]:
     """Evaluate every point; return ``[(key, result), ...]`` in input
     order — identical for any ``jobs``."""
     points = list(points)
     jobs = default_jobs(jobs)
-    if jobs > 1 and current_telemetry() is not None:
-        # Spans/metrics must accumulate in this process; see module docs.
+    tel = current_telemetry()
+    if tel is not None and not getattr(tel, "wants_spans", True):
+        return _run_sweep_metrics_only(points, jobs, tel)
+    if jobs > 1 and tel is not None:
+        # Spans must accumulate in this process; see module docs.
         jobs = 1
     if jobs <= 1 or len(points) <= 1:
         return [(p.key, p.run()) for p in points]
-    # fork shares the warmed-up interpreter and environment on the
-    # platforms CI runs on; spawn is the portable fallback and works
-    # because every SweepPoint is pickled either way.
+    with _pool(jobs, len(points)) as pool:
+        return pool.map(_run_point, points, chunksize=1)
+
+
+def _run_sweep_metrics_only(points: List[SweepPoint], jobs: int,
+                            tel) -> List[Tuple[str, Any]]:
+    """The metrics-only sweep path: per-point fresh registries, merged
+    into ``tel.registry`` in input order — serial and parallel runs are
+    byte-identical (see :func:`_run_point_fresh`)."""
+    if jobs <= 1 or len(points) <= 1:
+        evaluated = [_run_point_fresh(p) for p in points]
+    else:
+        with _pool(jobs, len(points)) as pool:
+            evaluated = pool.map(_run_point_fresh, points, chunksize=1)
+    out = []
+    for key, result, state in evaluated:
+        tel.registry.merge_state(state)
+        out.append((key, result))
+    return out
+
+
+def _pool(jobs: int, n_points: int):
+    """A worker pool sized for the sweep.
+
+    fork shares the warmed-up interpreter and environment on the
+    platforms CI runs on; spawn is the portable fallback and works
+    because every SweepPoint is pickled either way.
+    """
     try:
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context("spawn")
-    with ctx.Pool(processes=min(jobs, len(points))) as pool:
-        return pool.map(_run_point, points, chunksize=1)
+    return ctx.Pool(processes=min(jobs, n_points))

@@ -21,6 +21,7 @@ from ..obs import Scorecard, attribute, what_if_all
 
 __all__ = [
     "attach_attribution",
+    "attach_slo",
     "scorecard_fig2a",
     "scorecards_fig6_7_8",
     "scorecard_fig9",
@@ -68,6 +69,67 @@ def attach_attribution(sc: Scorecard, results: Iterable) -> None:
             }
     if blocks:
         sc.meta["attribution"] = blocks
+
+
+def _slo_label(key) -> str:
+    """Stable string label for a sweep key (tuples join with '/')."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def attach_slo(sc: Scorecard, results: Dict) -> None:
+    """Attach per-run windowed SLO timelines to ``sc.meta["slo"]``.
+
+    Every sweep point whose result carries a
+    :attr:`repro.harness.metrics.RunResult.slo` report contributes
+    ``sc.meta["slo"][label]`` — per-window p50/p99/p999 latency, goodput
+    and counter deltas plus any threshold violation events — so a
+    committed scorecard records the run's *trajectory*, not just its
+    terminal aggregates.  Points without a timeline are skipped, and the
+    block is omitted entirely when no point has one, leaving legacy
+    scorecards byte-identical.
+    """
+    blocks: Dict[str, dict] = {}
+    for key, result in results.items():
+        slo = getattr(result, "slo", None)
+        if slo is not None:
+            blocks[_slo_label(key)] = slo
+    if blocks:
+        sc.meta["slo"] = blocks
+
+
+def _windowed_p99s(slo: Optional[dict]) -> List[float]:
+    """The non-empty per-window p99s of one run's SLO report."""
+    if not slo:
+        return []
+    return [row["p99_us"] for row in slo.get("windows", ())
+            if row.get("p99_us") is not None]
+
+
+def _fig2a_slo_check(sc: Scorecard, results: Dict[int, object],
+                     qp_cache_entries: int) -> None:
+    """Assert the windowed-SLO view of the cliff: per-window read p99 at
+    a post-cliff point sits well above a pre-cliff point's — the
+    timeline shows the transition, not just the end-of-run aggregate."""
+    pre_pts = sorted(q for q in results
+                     if q <= qp_cache_entries // 2
+                     and _windowed_p99s(getattr(results[q], "slo", None)))
+    post_pts = sorted(q for q in results
+                      if q > qp_cache_entries
+                      and _windowed_p99s(getattr(results[q], "slo", None)))
+    if not pre_pts or not post_pts:
+        return
+    pre = _windowed_p99s(results[max(pre_pts)].slo)
+    post = _windowed_p99s(results[max(post_pts)].slo)
+    pre_p99 = sorted(pre)[len(pre) // 2]
+    post_p99 = sorted(post)[len(post) // 2]
+    sc.add_check(
+        "slo_windows_show_cliff",
+        post_p99 > 1.5 * pre_p99,
+        "median per-window p99 at %d QPs (%.2fus) well above the "
+        "pre-cliff %d-QP windows (%.2fus)"
+        % (max(post_pts), post_p99, max(pre_pts), pre_p99))
 
 
 def _fig2a_attribution_check(sc: Scorecard, qps_points: List[int],
@@ -133,6 +195,8 @@ def scorecard_fig2a(results: Dict[int, object],
         sc.add_check("collapse_is_cache_thrash",
                      miss[hi] > miss[peak_qps],
                      "miss ratio grows from peak to collapse")
+    attach_slo(sc, results)
+    _fig2a_slo_check(sc, results, qp_cache_entries)
     attach_attribution(sc, results.values())
     _fig2a_attribution_check(sc, sorted(mops), qp_cache_entries)
     return sc
@@ -199,6 +263,7 @@ def scorecards_fig6_7_8(results: Dict[tuple, object]) -> List[Scorecard]:
     fig8.add_check("erpc_tail_degrades",
                    erpc32.p99_us > 1.2 * flock32.p99_us,
                    "paper: ~1.5x worse eRPC p99 at 32 threads")
+    attach_slo(fig6, results)
     attach_attribution(fig6, results.values())
     return [fig6, fig7, fig8]
 
@@ -241,6 +306,7 @@ def scorecard_fig9(results: Dict[tuple, object]) -> Scorecard:
                 and results[("farm4", t)].mops
                 < 1.25 * results[("nosharing", t)].mops,
                 "FaRM-like sharing performs like no sharing")
+    attach_slo(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -280,6 +346,7 @@ def scorecard_fig10(results: Dict[tuple, object]) -> Scorecard:
         sc.add_check("degree_grows", degrees[-1] > degrees[0]
                      and degrees[0] > 1.1 and degrees[-1] > 1.5,
                      "requests per message grow with outstanding")
+    attach_slo(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -341,6 +408,7 @@ def scorecard_fig12(results: Dict[tuple, object]) -> Scorecard:
                    > 1.05 * results[("2t2q", t)].mops)
         sc.add_check("shared_qp_beats_dedicated", wins >= len(compare) - 1,
                      "paper: +10-30% with half the QPs")
+    attach_slo(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -377,6 +445,7 @@ def _txn_scorecard(figure: str, title: str, results: Dict[tuple, object],
                  all(r.extras.get("committed", 0) > 0
                      for r in results.values()),
                  "every configuration commits work")
+    attach_slo(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -425,6 +494,7 @@ def scorecard_incast(results: Dict[str, object]) -> Scorecard:
         not results["flock_base"].extras.get("congested", True)
         and not results["ud_base"].extras.get("congested", True),
         "baseline legs ran on the contention-free fabric")
+    attach_slo(sc, results)
     attach_attribution(sc, (results["flock_base"], results["flock_cong"],
                             results["ud_base"], results["ud_cong"]))
     return sc

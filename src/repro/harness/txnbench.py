@@ -38,6 +38,7 @@ from .microbench import (
     _finish_audit,
     _install_telemetry,
     _prepare_audit,
+    _run_window,
     bench_scale,
 )
 
@@ -197,8 +198,7 @@ def run_flocktx(cfg: TxnBenchConfig,
     _spawn_coordinators(sim, cfg, recorder, make_transport, streams,
                         coordinators)
     warmup, measure = cfg.durations()
-    recorder.open_window(warmup, warmup + measure)
-    sim.run(until=warmup + measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     result = _result(recorder, coordinators, sim, system="flocktx",
                      server_cpu=round(server_hw[0].cpu.utilization(), 3))
     result.telemetry = tel
@@ -239,8 +239,7 @@ def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None,
     _spawn_coordinators(sim, cfg, recorder, make_transport, streams,
                         coordinators)
     warmup, measure = cfg.durations()
-    recorder.open_window(warmup, warmup + measure)
-    sim.run(until=warmup + measure)
+    _run_window(sim, recorder, warmup, measure, fabric)
     result = _result(recorder, coordinators, sim, system="fasst",
                      server_cpu=round(server_hw[0].cpu.utilization(), 3),
                      recv_drops=sum(f.recv_drops for f in fasst_servers))

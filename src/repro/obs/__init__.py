@@ -62,9 +62,12 @@ from .registry import (
     Registry,
     null_registry,
 )
+from .runstore import RunRecord, RunStore, default_store_dir
 from .scorecard import Check, Metric, Scorecard, load_scorecard
+from .sketch import QuantileSketch
 from .span import PHASES, NullSpanLog, Span, SpanLog, null_span_log
 from .telemetry import Telemetry, current_telemetry, disable, enable
+from .windows import SloThresholds, SloTimeline
 
 __all__ = [
     "AuditContext",
@@ -88,6 +91,7 @@ __all__ = [
     "compare_scorecards",
     "critical_path",
     "critical_paths",
+    "default_store_dir",
     "faults",
     "folded_stacks",
     "format_attribution",
@@ -100,7 +104,12 @@ __all__ = [
     "NullRegistry",
     "NullSpanLog",
     "PHASES",
+    "QuantileSketch",
     "Registry",
+    "RunRecord",
+    "RunStore",
+    "SloThresholds",
+    "SloTimeline",
     "Span",
     "SpanLog",
     "Telemetry",

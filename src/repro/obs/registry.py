@@ -9,9 +9,9 @@ instruments rather than ad-hoc attributes:
 * :class:`Gauge` — a point-in-time value, either set explicitly or backed
   by a zero-argument callable sampled at snapshot time (queue depth,
   pipeline occupancy), and
-* :class:`Histogram` — a distribution with cheap online moments plus a
-  bounded sample reservoir for percentiles (coalescing degree, CQ poll
-  batch size).
+* :class:`Histogram` — a distribution with exact online moments plus a
+  bounded-memory mergeable :class:`repro.obs.sketch.QuantileSketch` for
+  percentiles (coalescing degree, CQ poll batch size, latencies).
 
 Instruments are created through a :class:`Registry`, memoized by
 ``(name, labels)`` so two components asking for the same metric share one
@@ -29,7 +29,9 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
 
 __all__ = [
     "Counter",
@@ -40,8 +42,22 @@ __all__ = [
     "NullHistogram",
     "NullRegistry",
     "Registry",
+    "SUMMARY_KEYS",
     "null_registry",
 ]
+
+#: The shared summary schema: every histogram summary — live or null —
+#: carries exactly these keys in this order, and ``to_csv`` emits one
+#: row per key.  A test pins live and null implementations in lockstep.
+SUMMARY_KEYS = ("count", "sum", "min", "max", "mean", "p50", "p99", "p999")
+
+
+def _zero_summary() -> Dict[str, float]:
+    """The canonical all-zero summary (count is an int, rest floats)."""
+    out: Dict[str, float] = {}
+    for key in SUMMARY_KEYS:
+        out[key] = 0 if key == "count" else 0.0
+    return out
 
 
 def _label_key(labels: Dict[str, Any]) -> Tuple:
@@ -103,73 +119,97 @@ class Gauge:
 
 
 class Histogram:
-    """A distribution: online count/sum/min/max plus a bounded reservoir.
+    """A distribution: exact count/sum/min/max plus a mergeable sketch.
 
-    The reservoir keeps the first ``max_samples`` observations for
-    percentile queries; the moments stay exact regardless.  This is a
-    deliberate trade-off: simulation sweeps observe millions of values,
-    and the interesting percentile structure is stable early.
+    Percentiles come from a bounded-memory
+    :class:`repro.obs.sketch.QuantileSketch` (<=1% relative error at
+    every rank), replacing the seed-era first-N sample buffer whose
+    percentiles were biased toward the start of the run.  Because the
+    sketch merges exactly, parallel sweep workers can ship their
+    histograms back and the merged percentiles are identical to a
+    single-process run.
+
+    ``max_samples`` is accepted for backward compatibility and ignored:
+    the sketch's memory is bounded by its bucket count, not a sample
+    cap.
     """
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max",
-                 "samples", "max_samples")
+    __slots__ = ("name", "labels", "sketch")
 
     def __init__(self, name: str, labels: Optional[Dict[str, Any]] = None,
-                 max_samples: int = 65536):
+                 max_samples: int = 65536,
+                 relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY):
         self.name = name
         self.labels = labels or {}
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
-        self.samples: List[float] = []
-        self.max_samples = max_samples
+        self.sketch = QuantileSketch(relative_accuracy)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        if len(self.samples) < self.max_samples:
-            self.samples.append(value)
+        self.sketch.observe(value)
+
+    @property
+    def count(self) -> int:
+        """Exact number of observations."""
+        return self.sketch.count
+
+    @property
+    def total(self) -> float:
+        """Exact sum of all observations."""
+        return self.sketch.total
+
+    @property
+    def min(self) -> float:
+        """Exact minimum (inf when empty)."""
+        return self.sketch.min
+
+    @property
+    def max(self) -> float:
+        """Exact maximum (-inf when empty)."""
+        return self.sketch.max
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of all observations (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+        return self.sketch.mean
 
     def percentile(self, p: float) -> float:
-        """Approximate percentile ``p`` in [0, 100] from the reservoir."""
-        if not self.samples:
+        """Percentile ``p`` in [0, 100]; exact at the endpoints, within
+        the sketch's relative-error bound everywhere else."""
+        if not self.sketch.count:
             return 0.0
-        ordered = sorted(self.samples)
         if p <= 0:
-            return ordered[0]
+            return self.sketch.min
         if p >= 100:
-            return ordered[-1]
-        rank = p / 100.0 * (len(ordered) - 1)
-        lo = int(rank)
-        hi = min(lo + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+            return self.sketch.max
+        return self.sketch.percentile(p)
 
     def summary(self) -> Dict[str, float]:
-        """Count/sum/min/max/mean/p50/p99 as a plain dict."""
-        if not self.count:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p99": 0.0}
+        """The :data:`SUMMARY_KEYS` schema as a plain dict."""
+        if not self.sketch.count:
+            return _zero_summary()
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
+            "count": self.sketch.count,
+            "sum": self.sketch.total,
+            "min": self.sketch.min,
+            "max": self.sketch.max,
             "mean": self.mean,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram's sketch into this one (exact)."""
+        self.sketch.merge(other.sketch)
+        return self
+
+    def state(self) -> dict:
+        """Picklable full state (see :meth:`QuantileSketch.to_dict`)."""
+        return self.sketch.to_dict()
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`state` snapshot into this histogram."""
+        self.sketch.merge(QuantileSketch.from_dict(state))
 
     def __repr__(self) -> str:
         return "Histogram(%s, n=%d, mean=%g)" % (
@@ -258,10 +298,48 @@ class Registry:
         for name in sorted(snap["gauges"]):
             out.write("gauge,%s,value,%g\n" % (name, snap["gauges"][name]))
         for name in sorted(snap["histograms"]):
-            for field in ("count", "sum", "min", "max", "mean", "p50", "p99"):
+            for field in SUMMARY_KEYS:
                 out.write("histogram,%s,%s,%g\n"
                           % (name, field, snap["histograms"][name][field]))
         return out.getvalue()
+
+    # -- cross-process state --------------------------------------------
+
+    def export_state(self) -> dict:
+        """A picklable snapshot of every instrument's *full* state.
+
+        Unlike :meth:`snapshot` (display names, summarized histograms),
+        this keeps the ``(name, labels)`` keys and the complete sketch
+        buckets, so a worker process can ship its registry across a
+        pickle boundary and the parent can :meth:`merge_state` it
+        without losing percentile resolution.  Gauges are sampled (their
+        backing callables cannot travel between processes).
+        """
+        return {
+            "counters": [(c.name, key[1], c.value)
+                         for key, c in self._counters.items()],
+            "gauges": [(g.name, key[1], g.value)
+                       for key, g in self._gauges.items()],
+            "histograms": [(h.name, key[1], h.state())
+                           for key, h in self._histograms.items()],
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` snapshot into this registry.
+
+        Counters add, histogram sketches merge bucket-exactly, gauges
+        take the incoming value (so folding worker states in input
+        order leaves the last sweep point's gauge values — the same
+        values a serial run would report at the end).  Merging is
+        deterministic given the fold order; the parallel sweep executor
+        folds worker states in input order.
+        """
+        for name, lbl, value in state["counters"]:
+            self.counter(name, **dict(lbl)).value += value
+        for name, lbl, value in state["gauges"]:
+            self.gauge(name, **dict(lbl)).set(value)
+        for name, lbl, hstate in state["histograms"]:
+            self.histogram(name, **dict(lbl)).merge_state(hstate)
 
 
 class NullCounter:
@@ -300,9 +378,8 @@ class NullHistogram:
         return 0.0
 
     def summary(self) -> Dict[str, float]:
-        """An all-zero summary."""
-        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
-                "mean": 0.0, "p50": 0.0, "p99": 0.0}
+        """An all-zero summary over the shared :data:`SUMMARY_KEYS`."""
+        return _zero_summary()
 
 
 _NULL_COUNTER = NullCounter()

@@ -35,11 +35,23 @@ __all__ = [
 
 
 class Telemetry:
-    """A live metrics registry + span log, installable on simulators."""
+    """A live metrics registry + span log, installable on simulators.
 
-    def __init__(self, max_spans: int = 200_000):
+    ``wants_spans`` declares whether span-level observability (traces,
+    breakdowns, attribution) is needed.  Spans only exist in the process
+    that recorded them, so a spans-wanting telemetry forces sweeps
+    serial; a metrics-only telemetry (``wants_spans=False``) keeps
+    ``--jobs`` parallelism because counters and quantile sketches merge
+    exactly across worker processes (see
+    :meth:`repro.obs.registry.Registry.export_state`).
+    """
+
+    def __init__(self, max_spans: int = 200_000, wants_spans: bool = True):
         self.registry = Registry()
         self.spans = SpanLog(max_spans=max_spans)
+        #: Whether span recording matters to this telemetry's consumer
+        #: (False = metrics-only; sweeps may fan out across processes).
+        self.wants_spans = wants_spans
         #: Labels of the runs this telemetry has been installed on.
         self.runs = []
         #: The most recently installed simulator — its clock gives the

@@ -81,6 +81,39 @@ class TestRunSweep:
             assert result.telemetry is None
             assert result.ops > 0
 
+    def test_metrics_only_telemetry_keeps_parallelism(self):
+        """``wants_spans=False`` must not trip the forces-serial guard:
+        points still fan out to worker processes."""
+        enable(Telemetry(wants_spans=False))
+        try:
+            points = [SweepPoint("p%d" % i, _pid_and_value, (i,))
+                      for i in range(4)]
+            results = run_sweep(points, 4)
+            pids = {pid for _k, (pid, _v) in results}
+            assert os.getpid() not in pids
+            assert [v for _k, (_pid, v) in results] == [0, 1, 2, 3]
+        finally:
+            disable()
+
+    def test_metrics_merge_is_jobs_invariant(self, monkeypatch):
+        """The parent registry after a metrics-only sweep is identical
+        for jobs=1 and jobs=4: per-point registries merge in input
+        order either way."""
+        monkeypatch.setenv("REPRO_BENCH_SCALE", SMOKE)
+        snapshots = []
+        for jobs in (1, 4):
+            tel = enable(Telemetry(wants_spans=False))
+            try:
+                points = [SweepPoint("r%d" % i, _tiny_flock)
+                          for i in range(3)]
+                run_sweep(points, jobs)
+                snapshots.append(json.dumps(tel.metrics_snapshot(),
+                                            sort_keys=True))
+            finally:
+                disable()
+        assert snapshots[0] == snapshots[1]
+        assert '"count"' in snapshots[0]  # histograms actually recorded
+
 
 class TestDefaultJobs:
     def test_explicit_flag_wins(self, monkeypatch):
@@ -119,7 +152,8 @@ class TestChildStreams:
 
 
 def _result_fingerprint(r):
-    return (r.ops, r.duration_ns, tuple(r.latency), dict(r.extras))
+    return (r.ops, r.duration_ns, tuple(r.latency), dict(r.extras),
+            json.dumps(r.slo, sort_keys=True))
 
 
 class TestSweepDeterminism:
@@ -151,6 +185,37 @@ class TestSweepDeterminism:
                 _result_fingerprint(parallel[leg])
         assert serial["flock_retention"] == parallel["flock_retention"]
         assert serial["ud_retention"] == parallel["ud_retention"]
+
+    def test_cli_metrics_file_identical_across_jobs(self, tmp_path,
+                                                    capsys):
+        """``--metrics`` no longer forces telemetry off under --jobs:
+        the merged counter/histogram dump is byte-identical for any
+        worker count."""
+        dumps = []
+        for jobs, name in ((1, "serial.json"), (4, "parallel.json")):
+            path = tmp_path / name
+            main(["--scale", SMOKE, "--jobs", str(jobs),
+                  "--metrics", str(path),
+                  "fig2a", "--qps", "8", "16", "--clients", "2"])
+            capsys.readouterr()
+            dumps.append(path.read_bytes())
+        assert dumps[0] == dumps[1]
+        assert b'"count"' in dumps[0]
+
+    def test_cli_slo_timeline_identical_across_jobs(self, tmp_path,
+                                                    capsys):
+        dumps = []
+        for jobs, name in ((1, "s.json"), (4, "p.json")):
+            path = tmp_path / name
+            main(["--scale", SMOKE, "--jobs", str(jobs),
+                  "--slo-timeline", str(path),
+                  "fig2a", "--qps", "8", "16", "--clients", "2"])
+            capsys.readouterr()
+            dumps.append(path.read_bytes())
+        assert dumps[0] == dumps[1]
+        blocks = json.loads(dumps[0])
+        assert blocks  # one timeline per sweep point
+        assert all("windows" in block for block in blocks.values())
 
     def test_cli_attribution_table_identical(self, capsys):
         """Observability runs are forced serial, so ``--jobs`` may never
