@@ -47,6 +47,21 @@ raises on any violation.  ``--scorecard DIR`` writes a
 directory of scorecards against the committed baselines in
 ``benchmarks/baselines`` and exits nonzero on regression.
 
+Anomaly detection and explanations (``docs/observability.md``)::
+
+    python -m repro.harness.cli explain fig2a
+    python -m repro.harness.cli explain fig2a --json fig2a.anomalies.json
+    python -m repro.harness.cli explain run:latest
+
+``explain fig2a`` reruns the figure with spans on, auto-detects curve
+cliffs/knees and per-window changepoints/counter bursts (no per-figure
+thresholds), and explains each anomaly as a pre-vs-post attribution
+diff — the ranked resource-shift table plus the what-if recovery bound
+for the prime suspect.  ``explain run:N`` (or ``run:-1`` /
+``run:latest``) explains the anomaly blocks a recorded run's
+scorecards carry; ``runs diff A B`` additionally reports anomaly-set
+drift (new / vanished / moved) between two runs.
+
 Fabric congestion (``docs/network.md``)::
 
     python -m repro.harness.cli --congestion fig6 --threads 8
@@ -70,17 +85,22 @@ import sys
 from typing import List
 
 from ..obs import (
+    Explanation,
     RunStore,
     Telemetry,
     attribute,
     attribution_report,
     compare_dirs,
+    current_telemetry,
     disable,
     enable,
+    explain_changepoint,
+    explain_sweep_anomalies,
     faults,
     folded_stacks,
     format_attribution,
     format_breakdown,
+    format_explanation,
     load_scorecard,
     what_if_all,
     write_chrome_trace,
@@ -111,7 +131,7 @@ from .scorecards import (
     scorecard_incast,
     scorecards_fig6_7_8,
 )
-from .tables import print_table
+from .tables import latency_cells, latency_columns, print_table
 from .txnbench import TxnBenchConfig, run_fasst_txn, run_flocktx, sweep_txn
 
 #: Default committed-baseline directory for ``bench-compare``.
@@ -194,13 +214,12 @@ def cmd_fig6(args) -> None:
     for threads in args.threads:
         flock = results[("flock", args.outstanding, threads)]
         erpc = results[("erpc", args.outstanding, threads)]
-        rows.append([threads, round(flock.mops, 2), round(erpc.mops, 2),
-                     round(flock.median_us, 1), round(erpc.median_us, 1),
-                     round(flock.p99_us, 1), round(erpc.p99_us, 1)])
+        rows.append([threads, round(flock.mops, 2), round(erpc.mops, 2)]
+                    + latency_cells(flock) + latency_cells(erpc))
     print_table("Figs 6/7/8: FLock vs eRPC (outstanding=%d)"
                 % args.outstanding,
-                ["threads", "FLock Mops", "eRPC Mops", "FLock med",
-                 "eRPC med", "FLock p99", "eRPC p99"], rows)
+                ["threads", "FLock Mops", "eRPC Mops"]
+                + latency_columns("FLock") + latency_columns("eRPC"), rows)
     _collect_slo(args, results)
     for sc in scorecards_fig6_7_8(results):
         _emit_scorecard(args, sc)
@@ -275,10 +294,12 @@ def cmd_fig14(args) -> None:
         flock = results[("flocktx", threads)]
         fasst = results[("fasst", threads)]
         rows.append([threads, round(flock.mops, 3), round(fasst.mops, 3),
-                     round(flock.p99_us, 1), round(fasst.p99_us, 1)])
+                     round(flock.p99_us, 1), round(flock.p999_us, 1),
+                     round(fasst.p99_us, 1), round(fasst.p999_us, 1)])
     print_table("Figs 14/15: %s — FLockTX vs FaSST" % args.workload,
                 ["threads", "FLockTX Mtxn/s", "FaSST Mtxn/s",
-                 "FLockTX p99", "FaSST p99"], rows)
+                 "FLockTX p99", "FLockTX p999", "FaSST p99", "FaSST p999"],
+                rows)
     _collect_slo(args, results)
     builder = scorecard_fig14 if args.workload == "tatp" else None
     if builder is None:
@@ -342,9 +363,10 @@ def cmd_fig12(args) -> None:
         shared = results[("2t1q", total)] = next(merged)[1]
         one = results[("1t1q", total)] = next(merged)[1]
         rows.append([total, round(one.mops, 2), round(shared.mops, 2),
-                     round(shared.p99_us, 1)])
+                     round(shared.p99_us, 1), round(shared.p999_us, 1)])
     print_table("Fig 12: node scalability",
-                ["#clients", "1t/1QP Mops", "2t/1QP Mops", "2t/1QP p99 us"],
+                ["#clients", "1t/1QP Mops", "2t/1QP Mops", "2t/1QP p99 us",
+                 "2t/1QP p999 us"],
                 rows)
     _collect_slo(args, results)
     _emit_scorecard(args, scorecard_fig12(results))
@@ -422,6 +444,133 @@ def _emit_attribution(args, telemetry) -> None:
             fh.write("\n")
         print("wrote attribution report: %s (%d runs)"
               % (args.attribution_json, len(report)))
+
+
+def _explain_figure(figure: str, meta: dict, telemetry):
+    """Explanations for one figure's recorded anomaly block.
+
+    Sweep anomalies join to the scorecard's ``meta["attribution"]``
+    blocks through the stored x → run-label map; within-run anomalies
+    (changepoints, counter bursts) are time-split against live critical
+    paths when a spans-carrying telemetry is in hand, and degrade to a
+    noted partial explanation for stored runs.
+    """
+    block = meta.get("anomalies") or {}
+    attribution = meta.get("attribution") or {}
+    labels = block.get("labels") or {}
+    exps = explain_sweep_anomalies(block.get("sweep") or [],
+                                   attribution, labels)
+    rev = {}
+    if telemetry is not None:
+        rev = {label: rid for rid, label
+               in telemetry.spans.run_labels.items()}
+    for key in sorted(block.get("runs") or {}):
+        run_label = labels.get(key, key)
+        run_id = rev.get(run_label)
+        for data in block["runs"][key]:
+            if run_id is None:
+                exps.append(Explanation(
+                    anomaly=data, pre_label="", post_label="",
+                    note="within-run attribution split needs live spans "
+                         "(stored scorecards keep tables, not traces)"))
+            else:
+                exps.append(explain_changepoint(
+                    data, telemetry.critical_paths(run=run_id),
+                    label=run_label))
+    return exps, block
+
+
+def _emit_explanations(args, per_figure) -> int:
+    """Print explanation blocks (and the ``--json`` report) per figure."""
+    report = {}
+    total = 0
+    for figure in sorted(per_figure):
+        exps, block = per_figure[figure]
+        total += len(exps)
+        print()
+        print("=== %s: %d anomal%s ===" % (
+            figure, len(exps), "y" if len(exps) == 1 else "ies"))
+        if not exps:
+            print("no anomalies detected")
+        for exp in exps:
+            print()
+            print(format_explanation(exp))
+        report[figure] = {"anomalies": block,
+                          "explanations": [e.to_dict() for e in exps]}
+    if getattr(args, "explain_json", None):
+        with open(args.explain_json, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print()
+        print("wrote explanation report: %s (%d anomalies)"
+              % (args.explain_json, total))
+    return 0
+
+
+def _explain_live_fig2a(args) -> int:
+    """Run the Fig. 2a sweep with spans on and explain its anomalies."""
+    prev = current_telemetry()
+    own = prev is None or not getattr(prev, "wants_spans", False)
+    tel = enable(Telemetry(wants_spans=True)) if own else prev
+    try:
+        # A spans-wanting telemetry forces run_sweep serial, so the
+        # detected anomaly set is byte-identical for any --jobs count.
+        results = sweep_raw_reads(args.qps, n_clients=args.clients,
+                                  outstanding_per_qp=2,
+                                  jobs=default_jobs(args.jobs))
+        sc = scorecard_fig2a(results)
+    finally:
+        if own:
+            if prev is not None:
+                enable(prev)
+            else:
+                disable()
+    _collect_slo(args, results)
+    _emit_scorecard(args, sc)
+    exps, block = _explain_figure("fig2a", sc.meta, tel)
+    return _emit_explanations(args, {"fig2a": (exps, block)})
+
+
+def _looks_like_run_ref(target: str) -> bool:
+    """True when the explain target names a stored run, not a figure."""
+    if target.startswith("run:") or target == "latest":
+        return True
+    try:
+        int(target)
+    except ValueError:
+        return False
+    return True
+
+
+def _explain_stored(args) -> int:
+    """Explain the anomaly blocks a recorded run's scorecards carry."""
+    try:
+        rec = _runstore(args).get(args.target)
+    except KeyError as exc:
+        print(exc.args[0])
+        return 1
+    print("explaining run %d (label=%s)" % (rec.run_id, rec.label or "-"))
+    per_figure = {}
+    for figure in rec.figures:
+        meta = rec.scorecards[figure].get("meta", {})
+        exps, block = _explain_figure(figure, meta, None)
+        if block:
+            per_figure[figure] = (exps, block)
+    if not per_figure:
+        print("run %d recorded no anomalies" % rec.run_id)
+        return 0
+    return _emit_explanations(args, per_figure)
+
+
+def cmd_explain(args) -> int:
+    """Detect-and-explain: live figure rerun or a stored run's blocks."""
+    if _looks_like_run_ref(args.target):
+        return _explain_stored(args)
+    if args.target != "fig2a":
+        print("explain: unsupported live target %r (live: fig2a; "
+              "stored: run:N, run:-N, run:latest)" % args.target)
+        return 1
+    return _explain_live_fig2a(args)
 
 
 def cmd_bench_compare(args) -> int:
@@ -618,6 +767,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the congested legs in lossless PFC mode")
     p.set_defaults(fn=cmd_incast)
 
+    p = sub.add_parser(
+        "explain",
+        help="detect anomalies and explain them via attribution diffs "
+             "(explain fig2a, explain run:4, explain run:latest)")
+    p.add_argument("target",
+                   help="a live figure (fig2a) or a stored run reference "
+                        "(run:N, run:-N, run:latest)")
+    p.add_argument("--qps", type=int, nargs="+",
+                   default=[22, 176, 704, 2816],
+                   help="fig2a sweep points for the live mode")
+    p.add_argument("--clients", type=int, default=22)
+    p.add_argument("--json", dest="explain_json", metavar="FILE",
+                   default=None,
+                   help="also write the anomaly + explanation report "
+                        "as JSON")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="run-store directory for stored references "
+                        "(default: benchmarks/runstore, or "
+                        "REPRO_RUNSTORE_DIR)")
+    p.set_defaults(fn=cmd_explain)
+
     p = sub.add_parser("bench-compare",
                        help="compare BENCH_*.json scorecards against "
                             "committed baselines (exit 1 on regression)")
@@ -641,13 +811,15 @@ def build_parser() -> argparse.ArgumentParser:
     rp.set_defaults(fn=cmd_runs_list)
 
     rp = runs_sub.add_parser("show", help="print one run's scorecards")
-    rp.add_argument("ref", help="run id (e.g. 4 or run:4)")
+    rp.add_argument("ref", help="run id (e.g. 4, run:4, run:-1, "
+                                "run:latest)")
     rp.set_defaults(fn=cmd_runs_show)
 
     rp = runs_sub.add_parser(
-        "diff", help="compare run B against run A's tolerances "
-                     "(exit 1 when B regresses)")
-    rp.add_argument("a", help="baseline run id")
+        "diff", help="compare run B against run A's tolerances and "
+                     "anomaly sets (exit 1 when B regresses)")
+    rp.add_argument("a", help="baseline run id (run:N, run:-N, "
+                              "run:latest)")
     rp.add_argument("b", help="candidate run id")
     rp.set_defaults(fn=cmd_runs_diff)
 

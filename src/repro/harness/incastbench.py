@@ -131,8 +131,9 @@ def run_incast_flock(cfg: IncastConfig, *, congested: bool,
         flock_cfg = FlockConfig(sched_interval_ns=150_000.0,
                                 thread_sched_interval_ns=150_000.0)
     server = FlockNode(sim, servers[0], fabric, flock_cfg)
-    server.fl_reg_handler(ECHO_RPC,
-                          _echo_handler(cfg.resp_size, cfg.handler_ns))
+    warmup, measure = cfg.durations()
+    server.fl_reg_handler(ECHO_RPC, _echo_handler(
+        cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
     recorder = Recorder(sim)
     jitter_rng = random.Random(cfg.seed ^ 0x7EA)
@@ -158,7 +159,6 @@ def run_incast_flock(cfg: IncastConfig, *, congested: bool,
                 sim.spawn(worker(fnode, handle, t_idx, rng),
                           name="incast-worker")
 
-    warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure, fabric)
     degree = (sum(h.mean_coalescing_degree() for h in handles)
               / len(handles) if handles else 1.0)
@@ -186,8 +186,9 @@ def run_incast_ud(cfg: IncastConfig, *, congested: bool,
     audited, audit_reg = _prepare_audit(sim, tel, audit)
     servers, clients, fabric = build_cluster(sim, cfg.cluster(congested))
     server = UdRpcServer(sim, servers[0], fabric)
-    server.register_handler(ECHO_RPC,
-                            _echo_handler(cfg.resp_size, cfg.handler_ns))
+    warmup, measure = cfg.durations()
+    server.register_handler(ECHO_RPC, _echo_handler(
+        cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
     recorder = Recorder(sim)
     jitter_rng = random.Random(cfg.seed ^ 0x7EA)
@@ -216,7 +217,6 @@ def run_incast_ud(cfg: IncastConfig, *, congested: bool,
                 sim.spawn(worker(endpoint, server_qp, rng),
                           name="incast-worker")
 
-    warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure, fabric)
     extras = _switch_extras(fabric)
     result = recorder.result(

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.anomaly import detect_run_anomalies
 from ..sim import Simulator, percentile, summarize_latencies
 
 __all__ = ["Recorder", "RunResult"]
@@ -62,7 +63,9 @@ class Recorder:
                if self.slo_timeline is not None else None)
         return RunResult(ops=self.ops, duration_ns=duration,
                          latency=summarize_latencies(self.latencies_ns),
-                         extras=dict(extras), slo=slo)
+                         extras=dict(extras), slo=slo,
+                         anomalies=detect_run_anomalies(
+                             slo, label=str(extras.get("system", ""))))
 
     def cdf_us(self, points: int = 20):
         """Latency CDF as (percentile, µs) pairs — Figs. 7/8-style curves."""
@@ -94,6 +97,13 @@ class RunResult:
     #: timeline was attached.  Unlike telemetry this survives the
     #: parallel executor's pickle boundary.
     slo: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: Anomalies detected on the run's SLO timeline (plain dicts from
+    #: :func:`repro.obs.anomaly.detect_run_anomalies`) — changepoints on
+    #: per-window p99/goodput, counter bursts.  Empty when no timeline
+    #: was attached or nothing fired.  Plain data: crosses the parallel
+    #: executor's pickle boundary untouched, so the detected set is
+    #: byte-identical for any ``--jobs`` count.
+    anomalies: List[dict] = field(default_factory=list, repr=False)
 
     @property
     def mops(self) -> float:
@@ -110,11 +120,17 @@ class RunResult:
     def p99_us(self) -> float:
         return self.latency["p99"] / 1e3
 
+    @property
+    def p999_us(self) -> float:
+        # .get: legacy latency dicts predate the p999 summary key.
+        return self.latency.get("p999", 0.0) / 1e3
+
     def row(self) -> Dict[str, float]:
         return {
             "mops": round(self.mops, 3),
             "median_us": round(self.median_us, 2),
             "p99_us": round(self.p99_us, 2),
+            "p999_us": round(self.p999_us, 2),
             "ops": self.ops,
         }
 

@@ -32,8 +32,10 @@ from ..obs import (
     Registry,
     audit_enabled,
     current_telemetry,
+    faults,
     run_audit,
 )
+from ..obs.anomaly import detect_run_anomalies
 from ..obs.windows import attach_switch_sources, slo_timeline
 from ..sim import Simulator
 from ..workloads import FixedSize
@@ -141,7 +143,23 @@ def _finish_audit(audited: bool, sim: Simulator, registry,
     return result
 
 
-def _echo_handler(resp_size: int, handler_ns: float):
+#: ``bench.step_handler_cost`` multiplies the server handler cost by
+#: this factor once virtual time passes ``step_at_ns`` — a manufactured
+#: mid-run latency changepoint the anomaly detectors must catch (and CI
+#: proves they do, while staying silent on the clean twin run).
+STEP_FAULT_FACTOR = 25.0
+
+
+def _echo_handler(resp_size: int, handler_ns: float, sim=None,
+                  step_at_ns: Optional[float] = None):
+    if (sim is not None and step_at_ns is not None
+            and faults.is_active("bench.step_handler_cost")):
+        def faulty_handler(request):
+            if sim.now >= step_at_ns:
+                return resp_size, None, handler_ns * STEP_FAULT_FACTOR
+            return resp_size, None, handler_ns
+        return faulty_handler
+
     def handler(request):
         return resp_size, None, handler_ns
     return handler
@@ -181,7 +199,9 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
         flock_cfg = FlockConfig(sched_interval_ns=150_000.0,
                                 thread_sched_interval_ns=150_000.0)
     server = FlockNode(sim, servers[0], fabric, flock_cfg)
-    server.fl_reg_handler(ECHO_RPC, _echo_handler(cfg.resp_size, cfg.handler_ns))
+    warmup, measure = cfg.durations()
+    server.fl_reg_handler(ECHO_RPC, _echo_handler(
+        cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
     recorder = Recorder(sim)
     sizegen = cfg.make_sizegen()
@@ -214,7 +234,6 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
                     sim.spawn(worker(fnode, handle, t_idx, rng),
                               name="bench-worker")
 
-    warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure, fabric)
     degree = (sum(h.mean_coalescing_degree() for h in handles) / len(handles)
               if handles else 1.0)
@@ -244,7 +263,9 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = ErpcServer(sim, servers[0], fabric)
-    server.register_handler(ECHO_RPC, _echo_handler(cfg.resp_size, cfg.handler_ns))
+    warmup, measure = cfg.durations()
+    server.register_handler(ECHO_RPC, _echo_handler(
+        cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
     recorder = Recorder(sim)
     sizegen = cfg.make_sizegen()
@@ -273,7 +294,6 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
                     sim.spawn(worker(endpoint, server_qp, t_idx, rng),
                               name="erpc-worker")
 
-    warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure, fabric)
     result = recorder.result(
         system="erpc",
@@ -303,7 +323,9 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = RcRpcServer(sim, servers[0], fabric)
-    server.register_handler(ECHO_RPC, _echo_handler(cfg.resp_size, cfg.handler_ns))
+    warmup, measure = cfg.durations()
+    server.register_handler(ECHO_RPC, _echo_handler(
+        cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
     recorder = Recorder(sim)
     sizegen = cfg.make_sizegen()
@@ -331,7 +353,6 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
                 sim.spawn(worker(rc_client, handle, t_idx, rng),
                           name="rc-worker")
 
-    warmup, measure = cfg.durations()
     _run_window(sim, recorder, warmup, measure, fabric)
     result = recorder.result(
         system="rc-%dtpq" % threads_per_qp,
@@ -384,9 +405,11 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
     sim.run(until=warmup + measure)
     after = sum(rc.completed for rc in read_clients)
     ops = after - before
+    slo = timeline.report()
     result = RunResult(ops=ops, duration_ns=measure,
                        latency={"count": 0, "median": 0.0, "p99": 0.0,
-                                "mean": 0.0, "min": 0.0, "max": 0.0},
+                                "p999": 0.0, "mean": 0.0, "min": 0.0,
+                                "max": 0.0},
                        extras={
                            "system": "rc-read",
                            "total_qps": per_client * n_clients,
@@ -395,7 +418,8 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                            "pcie_reads": servers[0].rnic.pcie.reads_issued,
                        },
                        telemetry=tel,
-                       slo=timeline.report())
+                       slo=slo,
+                       anomalies=detect_run_anomalies(slo, label="rc-read"))
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -412,7 +436,10 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = UdRpcServer(sim, servers[0], fabric)
-    server.register_handler(ECHO_RPC, _echo_handler(resp_size, handler_ns))
+    scale = bench_scale()
+    warmup, measure = warmup_ns * scale, measure_ns * scale
+    server.register_handler(ECHO_RPC, _echo_handler(
+        resp_size, handler_ns, sim, warmup + measure / 2))
 
     recorder = Recorder(sim)
 
@@ -434,8 +461,6 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
             for _ in range(outstanding):
                 sim.spawn(worker(endpoint, server_qp), name="ud-worker")
 
-    scale = bench_scale()
-    warmup, measure = warmup_ns * scale, measure_ns * scale
     _run_window(sim, recorder, warmup, measure, fabric)
     result = recorder.result(
         system="ud-rpc",

@@ -14,12 +14,14 @@ full-sweep scorecards are meant to be committed as baselines.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Optional
 
-from ..obs import Scorecard, attribute, what_if_all
+from ..obs import Scorecard
+from ..obs.anomaly import detect_sweep_anomalies
+from ..obs.explain import attribution_blocks
 
 __all__ = [
+    "attach_anomalies",
     "attach_attribution",
     "attach_slo",
     "scorecard_fig2a",
@@ -52,21 +54,7 @@ def attach_attribution(sc: Scorecard, results: Iterable) -> None:
         if tel is None or id(tel) in seen:
             continue
         seen.add(id(tel))
-        for run_id in sorted(tel.spans.run_labels):
-            label = tel.spans.run_labels[run_id]
-            paths = tel.critical_paths(run=run_id)
-            if not paths:
-                continue
-            table = attribute(paths)
-            blocks[label] = {
-                "paths": len(paths),
-                "shares": {res: round(cell["share"], 6)
-                           for res, cell in table.items()},
-                # inf (all blocked time on one resource) is not strict
-                # JSON; represent the unbounded case as None.
-                "what_if": {res: (None if math.isinf(x) else round(x, 4))
-                            for res, x in what_if_all(paths).items()},
-            }
+        blocks.update(attribution_blocks(tel))
     if blocks:
         sc.meta["attribution"] = blocks
 
@@ -97,6 +85,40 @@ def attach_slo(sc: Scorecard, results: Dict) -> None:
             blocks[_slo_label(key)] = slo
     if blocks:
         sc.meta["slo"] = blocks
+
+
+def attach_anomalies(sc: Scorecard, results: Dict,
+                     sweep: Optional[List[dict]] = None,
+                     labels: Optional[Dict[str, str]] = None) -> List[dict]:
+    """Attach detected anomalies to ``sc.meta["anomalies"]``.
+
+    The block has up to three parts: ``"sweep"`` — anomalies detected on
+    the figure's headline curve (cliffs/knees, passed in by the builder
+    that owns the curve); ``"runs"`` — each sweep point's within-run
+    anomalies (:attr:`repro.harness.metrics.RunResult.anomalies`:
+    changepoints, counter bursts), keyed by the point's label; and
+    ``"labels"`` — a sweep-x → attribution-run-label map so a stored
+    scorecard can be explained offline (``explain run:N`` joins sweep
+    anomalies to ``meta["attribution"]`` through it).  Empty parts are
+    omitted, and results without anomalies leave the scorecard
+    untouched — legacy scorecards stay byte-identical.  Returns the
+    sweep anomaly list for builders that also derive checks from it.
+    """
+    block: Dict[str, object] = {}
+    if sweep:
+        block["sweep"] = sweep
+    runs = {}
+    for key, result in results.items():
+        found = getattr(result, "anomalies", None)
+        if found:
+            runs[_slo_label(key)] = found
+    if runs:
+        block["runs"] = runs
+    if block and labels:
+        block["labels"] = labels
+    if block:
+        sc.meta["anomalies"] = block
+    return sweep or []
 
 
 def _windowed_p99s(slo: Optional[dict]) -> List[float]:
@@ -186,10 +208,21 @@ def scorecard_fig2a(results: Dict[int, object],
                      "throughput peaks between 176 and 704 QPs")
     sc.add_check("rises_from_low_end", best > 1.3 * mops[lo],
                  "few QPs cannot saturate the RNIC")
+    xs = sorted(mops)
+    sweep = [a.to_dict() for a in detect_sweep_anomalies(
+        xs, [mops[q] for q in xs],
+        metric="mops", series="rc-read", figure="fig2a")]
     if hi > qp_cache_entries:
-        sc.add_check("cliff_past_qp_cache", mops[hi] < 0.55 * best,
-                     "collapse once the sweep passes the %d-entry QP cache"
-                     % qp_cache_entries)
+        # The generic detector replaces the old hand-coded threshold
+        # (mops[hi] < 0.55 * best): the paper's cliff is reproduced iff
+        # a detected throughput-drop cliff lands past the QP-cache size.
+        sc.add_check(
+            "detected_cliff_matches_paper",
+            any(a["kind"] == "cliff" and a["direction"] == "drop"
+                and a["x"] > qp_cache_entries for a in sweep),
+            "the cliff detector locates a throughput collapse past the "
+            "%d-entry QP cache (no per-figure threshold)"
+            % qp_cache_entries)
         miss = {qps: r.extras.get("qp_cache_miss", 0.0)
                 for qps, r in results.items()}
         sc.add_check("collapse_is_cache_thrash",
@@ -198,7 +231,9 @@ def scorecard_fig2a(results: Dict[int, object],
     attach_slo(sc, results)
     _fig2a_slo_check(sc, results, qp_cache_entries)
     attach_attribution(sc, results.values())
-    _fig2a_attribution_check(sc, sorted(mops), qp_cache_entries)
+    _fig2a_attribution_check(sc, xs, qp_cache_entries)
+    attach_anomalies(sc, results, sweep=sweep,
+                     labels={str(q): "rc-read qps=%d" % q for q in xs})
     return sc
 
 
@@ -264,6 +299,7 @@ def scorecards_fig6_7_8(results: Dict[tuple, object]) -> List[Scorecard]:
                    erpc32.p99_us > 1.2 * flock32.p99_us,
                    "paper: ~1.5x worse eRPC p99 at 32 threads")
     attach_slo(fig6, results)
+    attach_anomalies(fig6, results)
     attach_attribution(fig6, results.values())
     return [fig6, fig7, fig8]
 
@@ -307,6 +343,7 @@ def scorecard_fig9(results: Dict[tuple, object]) -> Scorecard:
                 < 1.25 * results[("nosharing", t)].mops,
                 "FaRM-like sharing performs like no sharing")
     attach_slo(sc, results)
+    attach_anomalies(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -347,6 +384,7 @@ def scorecard_fig10(results: Dict[tuple, object]) -> Scorecard:
                      and degrees[0] > 1.1 and degrees[-1] > 1.5,
                      "requests per message grow with outstanding")
     attach_slo(sc, results)
+    attach_anomalies(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -409,6 +447,7 @@ def scorecard_fig12(results: Dict[tuple, object]) -> Scorecard:
         sc.add_check("shared_qp_beats_dedicated", wins >= len(compare) - 1,
                      "paper: +10-30% with half the QPs")
     attach_slo(sc, results)
+    attach_anomalies(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -446,6 +485,7 @@ def _txn_scorecard(figure: str, title: str, results: Dict[tuple, object],
                      for r in results.values()),
                  "every configuration commits work")
     attach_slo(sc, results)
+    attach_anomalies(sc, results)
     attach_attribution(sc, results.values())
     return sc
 
@@ -495,6 +535,7 @@ def scorecard_incast(results: Dict[str, object]) -> Scorecard:
         and not results["ud_base"].extras.get("congested", True),
         "baseline legs ran on the contention-free fabric")
     attach_slo(sc, results)
+    attach_anomalies(sc, results)
     attach_attribution(sc, (results["flock_base"], results["flock_cong"],
                             results["ud_base"], results["ud_cong"]))
     return sc

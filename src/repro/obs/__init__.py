@@ -30,6 +30,17 @@ and CLI usage.
 """
 
 from . import faults
+from .anomaly import (
+    Anomaly,
+    detect_changepoints,
+    detect_cliffs,
+    detect_counter_bursts,
+    detect_knees,
+    detect_run_anomalies,
+    detect_sweep_anomalies,
+    diff_anomaly_sets,
+    severity_label,
+)
 from .audit import (
     AuditContext,
     AuditError,
@@ -53,6 +64,16 @@ from .causal import (
     what_if,
     what_if_all,
 )
+from .explain import (
+    Explanation,
+    attribution_blocks,
+    explain_between,
+    explain_changepoint,
+    explain_sweep_anomalies,
+    format_explanation,
+    shift_table,
+    top_shift,
+)
 from .export import chrome_trace, format_breakdown, write_chrome_trace
 from .registry import (
     Counter,
@@ -70,10 +91,12 @@ from .telemetry import Telemetry, current_telemetry, disable, enable
 from .windows import SloThresholds, SloTimeline
 
 __all__ = [
+    "Anomaly",
     "AuditContext",
     "AuditError",
     "AuditReport",
     "Check",
+    "Explanation",
     "CompareReport",
     "Counter",
     "CriticalPath",
@@ -85,6 +108,7 @@ __all__ = [
     "Segment",
     "Violation",
     "attribute",
+    "attribution_blocks",
     "attribution_report",
     "audit_enabled",
     "compare_dirs",
@@ -92,7 +116,21 @@ __all__ = [
     "critical_path",
     "critical_paths",
     "default_store_dir",
+    "detect_changepoints",
+    "detect_cliffs",
+    "detect_counter_bursts",
+    "detect_knees",
+    "detect_run_anomalies",
+    "detect_sweep_anomalies",
+    "diff_anomaly_sets",
+    "explain_between",
+    "explain_changepoint",
+    "explain_sweep_anomalies",
     "faults",
+    "format_explanation",
+    "severity_label",
+    "shift_table",
+    "top_shift",
     "folded_stacks",
     "format_attribution",
     "load_scorecard",

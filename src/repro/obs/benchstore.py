@@ -23,6 +23,7 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from .anomaly import diff_anomaly_sets
 from .scorecard import Scorecard, load_scorecard
 
 __all__ = [
@@ -65,6 +66,12 @@ class CompareReport:
     skipped: List[str] = field(default_factory=list)
     #: Baseline-passing shape checks that fail in the current run.
     failed_checks: List[str] = field(default_factory=list)
+    #: Anomaly-set drift (new / vanished / moved anomalies) between the
+    #: runs' ``meta["anomalies"]`` blocks.  Informational only — drift
+    #: surfaces in :meth:`format` but never flips :attr:`ok`; the gated
+    #: metrics and held checks are the contract, the anomaly diff is the
+    #: explanation of *where* a regression bit.
+    anomaly_flags: List[str] = field(default_factory=list)
 
     @property
     def regressions(self) -> List[MetricDelta]:
@@ -84,6 +91,8 @@ class CompareReport:
                 lines.append("  " + str(d))
         for name in self.failed_checks:
             lines.append("  REGRESSION check %s now fails" % name)
+        for flag in self.anomaly_flags:
+            lines.append("  anomaly %s" % flag)
         for s in self.skipped:
             lines.append("  skip %s" % s)
         if self.ok:
@@ -135,6 +144,12 @@ def compare_scorecards(baseline: Scorecard,
             report.failed_checks.append(
                 "%s/%s%s" % (current.figure, check.name,
                              (": " + check.detail) if check.detail else ""))
+    diff = diff_anomaly_sets(baseline.meta.get("anomalies"),
+                             current.meta.get("anomalies"))
+    for verb in ("new", "vanished", "moved"):
+        for entry in diff[verb]:
+            report.anomaly_flags.append(
+                "%s %s: %s" % (baseline.figure, verb, entry))
     return report
 
 
@@ -142,6 +157,7 @@ def _merge(into: CompareReport, part: CompareReport) -> None:
     into.deltas.extend(part.deltas)
     into.skipped.extend(part.skipped)
     into.failed_checks.extend(part.failed_checks)
+    into.anomaly_flags.extend(part.anomaly_flags)
 
 
 def compare_dirs(baseline_dir: str, current_dir: str,

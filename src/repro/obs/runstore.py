@@ -224,14 +224,31 @@ class RunStore:
                 for line in self._lines()]
 
     def get(self, ref) -> RunRecord:
-        """A run by reference: an id, ``"4"``, or ``"run:4"``."""
+        """A run by reference.
+
+        Accepts an id (``4``, ``"4"``, ``"run:4"``), ``"latest"`` /
+        ``"run:latest"`` for the most recent run, and negative ids
+        counting back from the end (``-1`` / ``"run:-1"`` is the latest,
+        ``-2`` the one before).  Raises :class:`KeyError` with the bad
+        reference for anything else.
+        """
         if isinstance(ref, str):
             ref = ref.split(":", 1)[1] if ref.startswith("run:") else ref
-            try:
-                ref = int(ref)
-            except ValueError:
-                raise KeyError("bad run reference %r" % ref)
-        for rec in self.list():
+            if ref == "latest":
+                ref = -1
+            else:
+                try:
+                    ref = int(ref)
+                except ValueError:
+                    raise KeyError("bad run reference %r (want an id, "
+                                   "run:N, run:-N, or run:latest)" % ref)
+        records = self.list()
+        if ref < 0:
+            if -ref <= len(records):
+                return records[ref]
+            raise KeyError("no run %r in %s (only %d recorded)"
+                           % (ref, self.path, len(records)))
+        for rec in records:
             if rec.run_id == ref:
                 return rec
         raise KeyError("no run %r in %s" % (ref, self.path))
@@ -259,6 +276,7 @@ class RunStore:
             report.deltas.extend(part.deltas)
             report.skipped.extend(part.skipped)
             report.failed_checks.extend(part.failed_checks)
+            report.anomaly_flags.extend(part.anomaly_flags)
         return report
 
     # -- querying -------------------------------------------------------

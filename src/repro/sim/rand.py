@@ -144,14 +144,16 @@ def percentile(sorted_values: Sequence[float], p: float) -> float:
 
 
 def summarize_latencies(samples: List[float]) -> dict:
-    """Median/p99/mean/min/max summary used by every harness."""
+    """Median/p99/p999/mean/min/max summary used by every harness."""
     if not samples:
-        return {"count": 0, "median": 0.0, "p99": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        return {"count": 0, "median": 0.0, "p99": 0.0, "p999": 0.0,
+                "mean": 0.0, "min": 0.0, "max": 0.0}
     ordered = sorted(samples)
     return {
         "count": len(ordered),
         "median": percentile(ordered, 50.0),
         "p99": percentile(ordered, 99.0),
+        "p999": percentile(ordered, 99.9),
         "mean": sum(ordered) / len(ordered),
         "min": ordered[0],
         "max": ordered[-1],

@@ -96,6 +96,8 @@ class TestFaultHook:
             "credits.drop_refill": os.path.join(root, "flock", "credits.py"),
             "verbs.leak_cqe": os.path.join(root, "verbs", "qp.py"),
             "rnic.double_count_hit": os.path.join(root, "hw", "rnic.py"),
+            "bench.step_handler_cost": os.path.join(
+                root, "harness", "microbench.py"),
         }
         assert set(modules) == set(faults.FAULT_NAMES)
         for name, path in modules.items():

@@ -153,7 +153,8 @@ class TestChildStreams:
 
 def _result_fingerprint(r):
     return (r.ops, r.duration_ns, tuple(r.latency), dict(r.extras),
-            json.dumps(r.slo, sort_keys=True))
+            json.dumps(r.slo, sort_keys=True),
+            json.dumps(r.anomalies, sort_keys=True))
 
 
 class TestSweepDeterminism:

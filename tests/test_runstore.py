@@ -94,13 +94,32 @@ class TestGet:
         assert store.get("1").run_id == 1
         assert store.get("run:1").run_id == 1
 
+    def test_latest_and_negative_references(self, store):
+        store.record([make_scorecard()])
+        store.record([make_scorecard()])
+        store.record([make_scorecard()])
+        assert store.get("latest").run_id == 3
+        assert store.get("run:latest").run_id == 3
+        assert store.get(-1).run_id == 3
+        assert store.get("-1").run_id == 3
+        assert store.get("run:-2").run_id == 2
+
+    def test_negative_reference_past_history_raises(self, store):
+        store.record([make_scorecard()])
+        with pytest.raises(KeyError):
+            store.get(-2)
+
+    def test_latest_on_empty_store_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("latest")
+
     def test_unknown_id_raises(self, store):
         with pytest.raises(KeyError):
             store.get(99)
 
     def test_garbage_reference_raises(self, store):
         with pytest.raises(KeyError):
-            store.get("latest")
+            store.get("nightly-4")
 
 
 class TestDiff:
@@ -148,6 +167,25 @@ class TestDiff:
         report = store.diff(1, 2)
         assert report.ok
         assert report.skipped
+
+    def test_anomaly_drift_flagged_but_never_gates(self, store):
+        anomaly = {"kind": "changepoint", "figure": "figX",
+                   "series": "flock", "metric": "p99_us", "x": 4.0,
+                   "span": [100.0, 200.0], "direction": "rise",
+                   "severity": 0.5, "detail": "", "evidence": {}}
+        a = make_scorecard()
+        b = make_scorecard()
+        b.meta["anomalies"] = {"runs": {"flock": [anomaly]}}
+        store.record([a])
+        store.record([b])
+        report = store.diff(1, 2)
+        assert report.ok  # informational, not a gate
+        assert any("new" in flag and "p99_us" in flag
+                   for flag in report.anomaly_flags)
+        assert "anomaly" in report.format()
+        # The reverse direction reports the anomaly as vanished.
+        back = store.diff(2, 1)
+        assert any("vanished" in flag for flag in back.anomaly_flags)
 
 
 class TestQuery:

@@ -127,6 +127,7 @@ class TestSummarize:
     def test_empty(self):
         summary = summarize_latencies([])
         assert summary["count"] == 0 and summary["median"] == 0.0
+        assert summary["p999"] == 0.0
 
     def test_basic(self):
         summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
@@ -134,3 +135,10 @@ class TestSummarize:
         assert summary["median"] == pytest.approx(2.5)
         assert summary["min"] == 1.0 and summary["max"] == 4.0
         assert summary["mean"] == pytest.approx(2.5)
+
+    def test_p999_sits_between_p99_and_max(self):
+        samples = list(float(i) for i in range(1, 2001))
+        summary = summarize_latencies(samples)
+        assert summary["p99"] <= summary["p999"] <= summary["max"]
+        assert summary["p999"] == pytest.approx(
+            percentile(sorted(samples), 99.9))
