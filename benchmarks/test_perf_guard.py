@@ -74,3 +74,50 @@ def test_null_instrument_cost_is_negligible(benchmark):
     assert projected_share < 0.05, (
         "null instruments project to %.2f%% of the run (budget 5%%)"
         % (100 * projected_share))
+
+
+def test_profiler_off_cost_is_negligible(benchmark):
+    """The cost-observatory disabled path budget: <2 % of run wall time.
+
+    With profiling off, ``Simulator.run`` carries zero observatory code
+    (tests/test_obs_simprof.py pins that structurally), so the only
+    residue is the cached ``self._occ`` attribute load + ``is None``
+    test at each component hook site.  Time that exact shape and
+    project it at a conservative 4 hook touches per simulator event.
+    """
+    class _Host:
+        _occ = None
+
+    host = _Host()
+    calls = 500_000
+
+    def spin():
+        hits = 0
+        for _ in range(calls):
+            occ = host._occ
+            if occ is not None:
+                hits += 1
+        return hits
+
+    per_call_s = float("inf")
+    for _ in range(3):  # best-of-3 damps scheduler noise
+        t0 = time.perf_counter()
+        assert spin() == 0
+        per_call_s = min(per_call_s,
+                         (time.perf_counter() - t0) / calls)
+
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(
+        lambda: run_flock(MicrobenchConfig(**SMALL)), rounds=1, iterations=1)
+    run_s = time.perf_counter() - t0
+
+    events = result.extras["events"]
+    assert events > 0
+    # Hook sites fire per transfer/WR/credit transition, each of which
+    # spans ~10 simulator events, and no event path crosses more than a
+    # handful of hooked components — so 2 touches per event is still a
+    # generous over-estimate of the true rate (well under 1).
+    projected_share = (2 * events * per_call_s) / run_s
+    assert projected_share < 0.02, (
+        "disabled occupancy hooks project to %.2f%% of the run "
+        "(budget 2%%)" % (100 * projected_share))

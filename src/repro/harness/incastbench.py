@@ -32,8 +32,10 @@ from ..sim import Simulator
 from .metrics import Recorder, RunResult
 from .microbench import (
     ECHO_RPC,
+    _attach_profile,
     _echo_handler,
     _finish_audit,
+    _install_observatory,
     _install_telemetry,
     _prepare_audit,
     _run_window,
@@ -126,12 +128,13 @@ def run_incast_flock(cfg: IncastConfig, *, congested: bool,
     label = "flock-incast %s" % ("cong" if congested else "base")
     tel = _install_telemetry(sim, telemetry, label)
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure)
     servers, clients, fabric = build_cluster(sim, cfg.cluster(congested))
     if flock_cfg is None:
         flock_cfg = FlockConfig(sched_interval_ns=150_000.0,
                                 thread_sched_interval_ns=150_000.0)
     server = FlockNode(sim, servers[0], fabric, flock_cfg)
-    warmup, measure = cfg.durations()
     server.fl_reg_handler(ECHO_RPC, _echo_handler(
         cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
@@ -159,7 +162,7 @@ def run_incast_flock(cfg: IncastConfig, *, congested: bool,
                 sim.spawn(worker(fnode, handle, t_idx, rng),
                           name="incast-worker")
 
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     degree = (sum(h.mean_coalescing_degree() for h in handles)
               / len(handles) if handles else 1.0)
     extras = _switch_extras(fabric)
@@ -174,6 +177,7 @@ def run_incast_flock(cfg: IncastConfig, *, congested: bool,
         **extras,
     )
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -184,9 +188,10 @@ def run_incast_ud(cfg: IncastConfig, *, congested: bool,
     label = "ud-incast %s" % ("cong" if congested else "base")
     tel = _install_telemetry(sim, telemetry, label)
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure)
     servers, clients, fabric = build_cluster(sim, cfg.cluster(congested))
     server = UdRpcServer(sim, servers[0], fabric)
-    warmup, measure = cfg.durations()
     server.register_handler(ECHO_RPC, _echo_handler(
         cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
@@ -217,7 +222,7 @@ def run_incast_ud(cfg: IncastConfig, *, congested: bool,
                 sim.spawn(worker(endpoint, server_qp, rng),
                           name="incast-worker")
 
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     extras = _switch_extras(fabric)
     result = recorder.result(
         system="ud-rpc",
@@ -229,6 +234,7 @@ def run_incast_ud(cfg: IncastConfig, *, congested: bool,
         **extras,
     )
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 

@@ -26,7 +26,9 @@ from ..obs.windows import attach_switch_sources, slo_timeline
 from ..sim import Simulator, Streams
 from .metrics import Recorder, RunResult
 from .microbench import (
+    _attach_profile,
     _finish_audit,
+    _install_observatory,
     _install_telemetry,
     _prepare_audit,
     bench_scale,
@@ -85,7 +87,7 @@ def _handlers(index: HydraList, cfg: IndexBenchConfig):
 
 
 def _run(sim: Simulator, cfg: IndexBenchConfig, recorders: Dict[str, Recorder],
-         fabric=None):
+         fabric=None, profile=None):
     warmup, measure = cfg.durations()
     for recorder in recorders.values():
         recorder.open_window(warmup, warmup + measure)
@@ -93,7 +95,10 @@ def _run(sim: Simulator, cfg: IndexBenchConfig, recorders: Dict[str, Recorder],
         if fabric is not None:
             attach_switch_sources(timeline, fabric)
         recorder.attach_slo(timeline)
-    sim.run(until=warmup + measure)
+    if profile is not None:
+        sim.run_profiled(profile, until=warmup + measure)
+    else:
+        sim.run(until=warmup + measure)
 
 
 def _results(recorders: Dict[str, Recorder], sim: Simulator,
@@ -120,6 +125,8 @@ def run_flock_index(cfg: IndexBenchConfig,
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "flock-index")
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     if flock_cfg is None:
@@ -156,9 +163,10 @@ def run_flock_index(cfg: IndexBenchConfig,
                 sim.spawn(worker(fnode, handle, t_idx, rng),
                           name="hydra-worker")
 
-    _run(sim, cfg, recorders, fabric)
+    _run(sim, cfg, recorders, fabric, profile=prof)
     out = _results(recorders, sim, "flock", telemetry=tel,
                    server_cpu=round(servers[0].cpu.utilization(), 3))
+    _attach_profile(out["get"], sim, prof)
     _finish_audit(audited, sim, audit_reg, out["get"])
     return out
 
@@ -169,6 +177,8 @@ def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None,
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "erpc-index")
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     index = build_index(cfg)
@@ -208,9 +218,10 @@ def run_erpc_index(cfg: IndexBenchConfig, *, telemetry=None,
                 sim.spawn(worker(endpoint, server_qp, rng),
                           name="hydra-worker")
 
-    _run(sim, cfg, recorders, fabric)
+    _run(sim, cfg, recorders, fabric, profile=prof)
     out = _results(recorders, sim, "erpc", telemetry=tel,
                    server_cpu=round(servers[0].cpu.utilization(), 3))
+    _attach_profile(out["get"], sim, prof)
     _finish_audit(audited, sim, audit_reg, out["get"])
     return out
 

@@ -9,12 +9,33 @@ the paper's units: **Mops** and **µs**.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional
 
 from ..obs.anomaly import detect_run_anomalies
 from ..sim import Simulator, percentile, summarize_latencies
 
-__all__ = ["Recorder", "RunResult"]
+__all__ = ["Recorder", "RunResult", "host_block"]
+
+
+def host_block(sim: Simulator) -> Dict[str, float]:
+    """Host-cost summary of a finished run: wall-clock seconds, events
+    fired, and events per host second.
+
+    Profiler-independent and cheap (two clock reads per run), so every
+    :class:`RunResult` carries it and the runstore can query
+    ``fig2a.events_per_sec`` drift across commits.  Kept out of
+    ``extras`` on purpose: host timings differ between a serial and a
+    parallel run of the same figure, and ``extras`` is part of the
+    jobs-invariance fingerprint.
+    """
+    wall_s = max(perf_counter() - sim.wall_start, 1e-9)
+    events = sim.events_processed
+    return {
+        "wall_s": round(wall_s, 4),
+        "events": events,
+        "events_per_sec": round(events / wall_s, 1),
+    }
 
 
 class Recorder:
@@ -65,7 +86,8 @@ class Recorder:
                          latency=summarize_latencies(self.latencies_ns),
                          extras=dict(extras), slo=slo,
                          anomalies=detect_run_anomalies(
-                             slo, label=str(extras.get("system", ""))))
+                             slo, label=str(extras.get("system", ""))),
+                         host=host_block(self.sim))
 
     def cdf_us(self, points: int = 20):
         """Latency CDF as (percentile, µs) pairs — Figs. 7/8-style curves."""
@@ -104,6 +126,16 @@ class RunResult:
     #: executor's pickle boundary untouched, so the detected set is
     #: byte-identical for any ``--jobs`` count.
     anomalies: List[dict] = field(default_factory=list, repr=False)
+    #: Host-cost block from :func:`host_block` — wall-clock seconds,
+    #: events fired, events/sec.  Deliberately **not** part of the
+    #: jobs-invariance fingerprint (host timings are machine- and
+    #: scheduling-dependent); None only for hand-built results.
+    host: Optional[Dict[str, float]] = field(default=None, repr=False)
+    #: Cost-observatory report (plain dict from
+    #: :meth:`repro.obs.simprof.SimProfile.report`, with the occupancy
+    #: heatmap under ``"occupancy"`` when tracked); None unless the run
+    #: was profiled via ``--profile`` / ``REPRO_PROFILE``.
+    profile: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     @property
     def mops(self) -> float:

@@ -36,10 +36,12 @@ from ..obs import (
     run_audit,
 )
 from ..obs.anomaly import detect_run_anomalies
+from ..obs.occupancy import OccupancyTracker, occupancy_enabled
+from ..obs.simprof import SimProfile, profile_enabled
 from ..obs.windows import attach_switch_sources, slo_timeline
 from ..sim import Simulator
 from ..workloads import FixedSize
-from .metrics import Recorder, RunResult
+from .metrics import Recorder, RunResult, host_block
 
 __all__ = [
     "MicrobenchConfig",
@@ -165,19 +167,60 @@ def _echo_handler(resp_size: int, handler_ns: float, sim=None,
     return handler
 
 
+def _install_observatory(sim: Simulator, warmup: float, measure: float,
+                         profile: Optional[bool] = None):
+    """Arm the cost observatory for one run, *before* the cluster is
+    built (components cache ``sim.occupancy`` at construction, exactly
+    like telemetry).
+
+    Occupancy tracking is governed by ``REPRO_OCCUPANCY``; profiling by
+    the ``profile`` override or ``REPRO_PROFILE``.  Returns the run's
+    :class:`repro.obs.simprof.SimProfile` or None.  Neither instrument
+    schedules events or draws randomness, so arming them never changes
+    simulation results.
+    """
+    if occupancy_enabled():
+        sim.occupancy = OccupancyTracker(warmup, warmup + measure)
+    want = profile if profile is not None else profile_enabled()
+    return SimProfile(warmup, warmup + measure) if want else None
+
+
+def _attach_profile(result: RunResult, sim: Simulator, prof) -> RunResult:
+    """Finish the observatory instruments and hang their reports (plain
+    JSON-safe dicts) on ``result.profile``."""
+    occ = sim.occupancy
+    if occ is not None:
+        occ.finish(sim.now)
+    if prof is not None:
+        prof.finish(sim)
+        report = prof.report()
+        if occ is not None:
+            report["occupancy"] = occ.report()
+        result.profile = report
+    elif occ is not None:
+        result.profile = {"occupancy": occ.report()}
+    return result
+
+
 def _run_window(sim: Simulator, recorder: Recorder, warmup: float,
-                measure: float, fabric=None) -> None:
+                measure: float, fabric=None, profile=None) -> None:
     """Open the measurement window, attach the run's SLO timeline (with
     switch counter sources when the fabric has a congestion switch), and
     drive the sim to the window's end.  The timeline is purely passive:
     it observes the recorder's completions without scheduling events or
-    drawing randomness, so results are unchanged by its presence."""
+    drawing randomness, so results are unchanged by its presence.  With
+    a ``profile``, the instrumented :meth:`Simulator.run_profiled` loop
+    is used instead of the fast path — same results, host-cost
+    attribution on the side."""
     recorder.open_window(warmup, warmup + measure)
     timeline = slo_timeline(warmup, warmup + measure)
     if fabric is not None:
         attach_switch_sources(timeline, fabric)
     recorder.attach_slo(timeline)
-    sim.run(until=warmup + measure)
+    if profile is not None:
+        sim.run_profiled(profile, until=warmup + measure)
+    else:
+        sim.run(until=warmup + measure)
 
 
 # ---------------------------------------------------------------------------
@@ -187,11 +230,14 @@ def _run_window(sim: Simulator, recorder: Recorder, warmup: float,
 def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
               coalescing: bool = True, thread_scheduling: bool = True,
               flock_cfg: Optional[FlockConfig] = None,
-              telemetry=None, audit: Optional[bool] = None) -> RunResult:
+              telemetry=None, audit: Optional[bool] = None,
+              profile: Optional[bool] = None) -> RunResult:
     """Closed-loop echo RPCs over FLock."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "flock")
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure, profile)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     if flock_cfg is None:
@@ -199,7 +245,6 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
         flock_cfg = FlockConfig(sched_interval_ns=150_000.0,
                                 thread_sched_interval_ns=150_000.0)
     server = FlockNode(sim, servers[0], fabric, flock_cfg)
-    warmup, measure = cfg.durations()
     server.fl_reg_handler(ECHO_RPC, _echo_handler(
         cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
@@ -234,7 +279,7 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
                     sim.spawn(worker(fnode, handle, t_idx, rng),
                               name="bench-worker")
 
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     degree = (sum(h.mean_coalescing_degree() for h in handles) / len(handles)
               if handles else 1.0)
     result = recorder.result(
@@ -247,6 +292,7 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
         events=sim.events_processed,
     )
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -255,15 +301,17 @@ def run_flock(cfg: MicrobenchConfig, *, qps_per_process: Optional[int] = None,
 # ---------------------------------------------------------------------------
 
 def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
-             audit: Optional[bool] = None) -> RunResult:
+             audit: Optional[bool] = None,
+             profile: Optional[bool] = None) -> RunResult:
     """Closed-loop echo RPCs over the eRPC-like UD baseline."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "erpc")
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure, profile)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = ErpcServer(sim, servers[0], fabric)
-    warmup, measure = cfg.durations()
     server.register_handler(ECHO_RPC, _echo_handler(
         cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
@@ -294,7 +342,7 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
                     sim.spawn(worker(endpoint, server_qp, t_idx, rng),
                               name="erpc-worker")
 
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     result = recorder.result(
         system="erpc",
         server_cpu=round(servers[0].cpu.utilization(), 3),
@@ -303,6 +351,7 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
         events=sim.events_processed,
     )
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -311,7 +360,8 @@ def run_erpc(cfg: MicrobenchConfig, *, telemetry=None,
 # ---------------------------------------------------------------------------
 
 def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
-           telemetry=None, audit: Optional[bool] = None) -> RunResult:
+           telemetry=None, audit: Optional[bool] = None,
+           profile: Optional[bool] = None) -> RunResult:
     """Closed-loop echo RPCs over RC write-based RPC without coalescing.
 
     ``threads_per_qp=1`` is the dedicated-QP (no sharing) config;
@@ -320,10 +370,11 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "rc-%dtpq" % threads_per_qp)
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure, profile)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients, seed=cfg.seed)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = RcRpcServer(sim, servers[0], fabric)
-    warmup, measure = cfg.durations()
     server.register_handler(ECHO_RPC, _echo_handler(
         cfg.resp_size, cfg.handler_ns, sim, warmup + measure / 2))
 
@@ -353,7 +404,7 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
                 sim.spawn(worker(rc_client, handle, t_idx, rng),
                           name="rc-worker")
 
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     result = recorder.result(
         system="rc-%dtpq" % threads_per_qp,
         server_cpu=round(servers[0].cpu.utilization(), 3),
@@ -361,6 +412,7 @@ def run_rc(cfg: MicrobenchConfig, *, threads_per_qp: int = 1,
         events=sim.events_processed,
     )
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -373,17 +425,19 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                   warmup_ns: float = 200_000.0,
                   measure_ns: float = 300_000.0,
                   cluster: Optional[ClusterConfig] = None,
-                  telemetry=None, audit: Optional[bool] = None) -> RunResult:
+                  telemetry=None, audit: Optional[bool] = None,
+                  profile: Optional[bool] = None) -> RunResult:
     """16-byte RDMA reads over an increasing number of QPs."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "rc-read qps=%d" % total_qps)
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    scale = bench_scale()
+    warmup, measure = warmup_ns * scale, measure_ns * scale
+    prof = _install_observatory(sim, warmup, measure, profile)
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     region = servers[0].memory.register(1 << 20)
 
-    scale = bench_scale()
-    warmup, measure = warmup_ns * scale, measure_ns * scale
     timeline = attach_switch_sources(slo_timeline(warmup, warmup + measure),
                                      fabric)
 
@@ -400,9 +454,15 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
         rc.start()
         read_clients.append(rc)
 
-    sim.run(until=warmup)
+    if prof is not None:
+        sim.run_profiled(prof, until=warmup)
+    else:
+        sim.run(until=warmup)
     before = sum(rc.completed for rc in read_clients)
-    sim.run(until=warmup + measure)
+    if prof is not None:
+        sim.run_profiled(prof, until=warmup + measure)
+    else:
+        sim.run(until=warmup + measure)
     after = sum(rc.completed for rc in read_clients)
     ops = after - before
     slo = timeline.report()
@@ -419,7 +479,9 @@ def run_raw_reads(total_qps: int, *, n_clients: int = 22, read_size: int = 16,
                        },
                        telemetry=tel,
                        slo=slo,
-                       anomalies=detect_run_anomalies(slo, label="rc-read"))
+                       anomalies=detect_run_anomalies(slo, label="rc-read"),
+                       host=host_block(sim))
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -428,16 +490,18 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
                outstanding: int = 2, warmup_ns: float = 200_000.0,
                measure_ns: float = 300_000.0,
                cluster: Optional[ClusterConfig] = None,
-               telemetry=None, audit: Optional[bool] = None) -> RunResult:
+               telemetry=None, audit: Optional[bool] = None,
+               profile: Optional[bool] = None) -> RunResult:
     """UD-based RPC with an increasing number of senders."""
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "ud-rpc n=%d" % n_senders)
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    scale = bench_scale()
+    warmup, measure = warmup_ns * scale, measure_ns * scale
+    prof = _install_observatory(sim, warmup, measure, profile)
     cluster = replace(cluster or ClusterConfig(), n_clients=n_clients)
     servers, clients, fabric = build_cluster(sim, cluster)
     server = UdRpcServer(sim, servers[0], fabric)
-    scale = bench_scale()
-    warmup, measure = warmup_ns * scale, measure_ns * scale
     server.register_handler(ECHO_RPC, _echo_handler(
         resp_size, handler_ns, sim, warmup + measure / 2))
 
@@ -461,7 +525,7 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
             for _ in range(outstanding):
                 sim.spawn(worker(endpoint, server_qp), name="ud-worker")
 
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     result = recorder.result(
         system="ud-rpc",
         n_senders=per_client * n_clients,
@@ -470,6 +534,7 @@ def run_ud_rpc(n_senders: int, *, n_clients: int = 22, req_size: int = 64,
         events=sim.events_processed,
     )
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 

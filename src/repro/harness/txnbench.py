@@ -35,7 +35,9 @@ from ..sim import Simulator, Streams
 from ..workloads import SmallbankWorkload, TatpWorkload
 from .metrics import Recorder, RunResult
 from .microbench import (
+    _attach_profile,
     _finish_audit,
+    _install_observatory,
     _install_telemetry,
     _prepare_audit,
     _run_window,
@@ -160,6 +162,8 @@ def run_flocktx(cfg: TxnBenchConfig,
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "flocktx")
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients,
                       n_servers=cfg.n_servers, seed=cfg.seed)
     server_hw, client_hw, fabric = build_cluster(sim, cluster)
@@ -197,11 +201,11 @@ def run_flocktx(cfg: TxnBenchConfig,
 
     _spawn_coordinators(sim, cfg, recorder, make_transport, streams,
                         coordinators)
-    warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     result = _result(recorder, coordinators, sim, system="flocktx",
                      server_cpu=round(server_hw[0].cpu.utilization(), 3))
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 
@@ -211,6 +215,8 @@ def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None,
     sim = Simulator()
     tel = _install_telemetry(sim, telemetry, "fasst")
     audited, audit_reg = _prepare_audit(sim, tel, audit)
+    warmup, measure = cfg.durations()
+    prof = _install_observatory(sim, warmup, measure)
     cluster = replace(cfg.cluster, n_clients=cfg.n_clients,
                       n_servers=cfg.n_servers, seed=cfg.seed)
     server_hw, client_hw, fabric = build_cluster(sim, cluster)
@@ -238,12 +244,12 @@ def run_fasst_txn(cfg: TxnBenchConfig, *, telemetry=None,
 
     _spawn_coordinators(sim, cfg, recorder, make_transport, streams,
                         coordinators)
-    warmup, measure = cfg.durations()
-    _run_window(sim, recorder, warmup, measure, fabric)
+    _run_window(sim, recorder, warmup, measure, fabric, profile=prof)
     result = _result(recorder, coordinators, sim, system="fasst",
                      server_cpu=round(server_hw[0].cpu.utilization(), 3),
                      recv_drops=sum(f.recv_drops for f in fasst_servers))
     result.telemetry = tel
+    _attach_profile(result, sim, prof)
     return _finish_audit(audited, sim, audit_reg, result)
 
 

@@ -25,15 +25,19 @@ __all__ = ["PcieLink"]
 class PcieLink:
     """A host<->NIC PCIe connection with bounded outstanding reads."""
 
-    def __init__(self, sim: Simulator, read_latency_ns: float, slots: int):
+    def __init__(self, sim: Simulator, read_latency_ns: float, slots: int,
+                 name: str = "pcie"):
         if read_latency_ns < 0:
             raise ValueError("negative PCIe latency")
         self.sim = sim
+        self.name = name
         self.read_latency_ns = read_latency_ns
         self._slots = Resource(sim, capacity=max(1, slots), name="pcie_slots")
         self.reads_issued = 0
         self.busy_ns = 0.0
         self._obs = sim.instrumented
+        #: Occupancy tracker (cost observatory); cached like ``_obs``.
+        self._occ = sim.occupancy
         metrics = sim.metrics
         self._m_reads = metrics.counter("pcie.reads")
         self._m_stall_ns = metrics.counter("pcie.stall_ns")
@@ -62,9 +66,16 @@ class PcieLink:
         if self._obs:
             self._m_reads.inc()
         queued_at = self.sim.now
+        occ = self._occ
+        if occ is not None:
+            occ.sample(self.name + ".queued", queued_at,
+                       self._slots.queue_len)
         if span is not None:
             span.wait_begin("pcie_stall", queued_at)
         yield self._slots.acquire()
+        if occ is not None:
+            occ.add(self.name + ".inflight", self.sim.now, 1.0,
+                    capacity=self._slots.capacity)
         try:
             if self._obs:
                 self._m_queue_ns.inc(self.sim.now - queued_at)
@@ -73,5 +84,7 @@ class PcieLink:
             yield self.sim.timeout(self.read_latency_ns)
         finally:
             self._slots.release()
+            if occ is not None:
+                occ.add(self.name + ".inflight", self.sim.now, -1.0)
         if span is not None:
             span.wait_end("pcie_stall", self.sim.now)

@@ -38,7 +38,8 @@ class Rnic:
         self.name = name
         self.qp_cache = LruCache(cfg.qp_cache_entries)
         self.mtt_cache = LruCache(cfg.mtt_cache_entries)
-        self.pcie = PcieLink(sim, cfg.cache_miss_ns, cfg.miss_slots)
+        self.pcie = PcieLink(sim, cfg.cache_miss_ns, cfg.miss_slots,
+                             name=name + ".pcie")
         self._tx_port = Resource(sim, capacity=1, name="tx_port")
         #: Optional transmit-pipeline gate installed by the fabric when
         #: PFC is on: ``tx_gate(span)`` yields a generator that blocks
@@ -64,6 +65,8 @@ class Rnic:
         # single bool test instead of null-object calls (see
         # docs/performance.md).
         self._obs = sim.instrumented
+        #: Occupancy tracker (cost observatory); cached like ``_obs``.
+        self._occ = sim.occupancy
         metrics = sim.metrics
         self._m_qp_hits = metrics.counter("rnic.qp_cache.hits")
         self._m_qp_misses = metrics.counter("rnic.qp_cache.misses")
@@ -170,6 +173,11 @@ class Rnic:
         port_t0 = self.sim.now
         yield self._tx_port.acquire(span)
         try:
+            if self._occ is not None:
+                # The TX engine serializes this message starting the
+                # instant the port was granted.
+                self._occ.busy("rnic.tx." + self.name, self.sim.now,
+                               self.sim.now + wire)
             if span is not None:
                 port_t1 = self.sim.now
                 if port_t1 > port_t0:

@@ -59,6 +59,7 @@ from .causal import (
     attribution_report,
     critical_path,
     critical_paths,
+    folded_lines,
     folded_stacks,
     format_attribution,
     what_if,
@@ -75,6 +76,7 @@ from .explain import (
     top_shift,
 )
 from .export import chrome_trace, format_breakdown, write_chrome_trace
+from .occupancy import OccupancyTracker, occupancy_enabled
 from .registry import (
     Counter,
     Gauge,
@@ -85,6 +87,7 @@ from .registry import (
 )
 from .runstore import RunRecord, RunStore, default_store_dir
 from .scorecard import Check, Metric, Scorecard, load_scorecard
+from .simprof import SimProfile, component_bucket, profile_enabled
 from .sketch import QuantileSketch
 from .span import PHASES, NullSpanLog, Span, SpanLog, null_span_log
 from .telemetry import Telemetry, current_telemetry, disable, enable
@@ -131,9 +134,13 @@ __all__ = [
     "severity_label",
     "shift_table",
     "top_shift",
+    "folded_lines",
     "folded_stacks",
     "format_attribution",
     "load_scorecard",
+    "component_bucket",
+    "occupancy_enabled",
+    "profile_enabled",
     "run_audit",
     "what_if",
     "what_if_all",
@@ -141,11 +148,13 @@ __all__ = [
     "Histogram",
     "NullRegistry",
     "NullSpanLog",
+    "OccupancyTracker",
     "PHASES",
     "QuantileSketch",
     "Registry",
     "RunRecord",
     "RunStore",
+    "SimProfile",
     "SloThresholds",
     "SloTimeline",
     "Span",

@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from itertools import count
+from time import perf_counter, perf_counter_ns
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from ..obs.registry import null_registry
@@ -406,6 +407,13 @@ class Simulator:
         #: Heap pops that would move the clock backwards (always 0 with a
         #: correct heap; the monotone-time auditor asserts it).
         self.time_regressions = 0
+        #: Optional :class:`repro.obs.occupancy.OccupancyTracker`; like
+        #: telemetry it must be installed *before* the cluster is built
+        #: (components cache the reference at construction).  ``None``
+        #: keeps every hook site to a single cached ``is None`` test.
+        self.occupancy: Optional[Any] = None
+        #: Host wall-clock at construction, for events/sec reporting.
+        self.wall_start = perf_counter()
 
     # -- scheduling ----------------------------------------------------
 
@@ -587,6 +595,56 @@ class Simulator:
                         else:
                             for fn in callbacks:
                                 fn(event)
+        finally:
+            self._n_events = n
+        if until is not None:
+            self.now = until
+
+    def run_profiled(self, profile: Any,
+                     until: Optional[float] = None) -> None:
+        """Instrumented twin of :meth:`run` for the cost observatory.
+
+        Identical event-selection semantics (same order, same clock
+        behaviour, same ``until`` handling — a profiled run produces
+        byte-identical simulation results), but every callback batch is
+        bracketed with ``perf_counter_ns`` and charged to ``profile``
+        via ``profile.account(event, callbacks, dt_ns, now)``.
+
+        Kept as a **separate** loop so :meth:`run` — the PR 5 fast path —
+        stays untouched and pays nothing when profiling is off.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError("until=%r is in the past (now=%r)" % (until, self.now))
+        heap = self._heap
+        ready = self._ready
+        popleft = ready.popleft
+        pop = heapq.heappop
+        account = profile.account
+        clock = perf_counter_ns
+        n = self._n_events
+        try:
+            while True:
+                if ready and (not heap or heap[0][0] > self.now):
+                    event = popleft()
+                elif heap:
+                    when = heap[0][0]
+                    if until is not None and when > until:
+                        break
+                    event = pop(heap)[2]
+                    if when < self.now:
+                        self.time_regressions += 1
+                    self.now = when
+                else:
+                    break
+                n += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                t_fire = clock()
+                if callbacks:
+                    for fn in callbacks:
+                        fn(event)
+                account(event, callbacks, clock() - t_fire, self.now)
         finally:
             self._n_events = n
         if until is not None:
