@@ -37,6 +37,18 @@ def _env_truthy(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() not in (
         "", "0", "false", "no", "off")
 
+
+def _require(cond: bool, msg: str) -> None:
+    """Config-construction invariant; raises ValueError on violation.
+
+    The scenario search mutates these knobs programmatically, so every
+    constructor-reachable field that can brick a run (zero-sized cache,
+    inverted PFC thresholds, negative costs) is validated here rather
+    than failing deep inside the simulator.
+    """
+    if not cond:
+        raise ValueError(msg)
+
 #: Paper Table 1 / §8.1: MTU used across all nodes.
 DEFAULT_MTU = 4096
 
@@ -75,6 +87,16 @@ class NicConfig:
     #: Extra latency for generating a completion entry (DMA write of CQE).
     cqe_dma_ns: float = 30.0
 
+    def __post_init__(self):
+        _require(self.message_rate > 0, "message_rate must be > 0")
+        _require(self.message_burst > 0, "message_burst must be > 0")
+        _require(self.qp_cache_entries >= 1, "qp_cache_entries must be >= 1")
+        _require(self.mtt_cache_entries >= 1, "mtt_cache_entries must be >= 1")
+        _require(self.miss_slots >= 1, "miss_slots must be >= 1")
+        _require(self.cache_miss_ns >= 0, "cache_miss_ns must be >= 0")
+        _require(self.base_latency_ns >= 0, "base_latency_ns must be >= 0")
+        _require(self.cqe_dma_ns >= 0, "cqe_dma_ns must be >= 0")
+
 
 @dataclass
 class CpuConfig:
@@ -108,6 +130,14 @@ class CpuConfig:
     marshal_ns: float = 45.0
     #: Building a coalesced message header + canary.
     header_build_ns: float = 50.0
+
+    def __post_init__(self):
+        _require(self.cores >= 1, "cores must be >= 1")
+        for name in ("mmio_ns", "cq_poll_ns", "ud_recv_recycle_ns",
+                     "ud_sw_transport_ns", "ring_poll_ns",
+                     "ring_scan_per_qp_ns", "decode_ns", "copy_ns_per_byte",
+                     "marshal_ns", "header_build_ns"):
+            _require(getattr(self, name) >= 0, "%s must be >= 0" % name)
 
 
 @dataclass
@@ -164,6 +194,29 @@ class CongestionConfig:
     #: their baseline legs.
     honor_env: bool = True
 
+    def __post_init__(self):
+        _require(self.buffer_bytes >= 1, "buffer_bytes must be >= 1")
+        # Kmin/Kmax may exceed the buffer (that just disables marking for
+        # the lossy queue), but the ramp itself must be ordered.
+        _require(0 < self.ecn_kmin_bytes <= self.ecn_kmax_bytes,
+                 "need 0 < ecn_kmin_bytes <= ecn_kmax_bytes")
+        _require(0.0 <= self.ecn_pmax <= 1.0, "ecn_pmax must be in [0, 1]")
+        _require(0 < self.pfc_xon_bytes <= self.pfc_xoff_bytes,
+                 "need 0 < pfc_xon_bytes <= pfc_xoff_bytes")
+        _require(self.dcqcn_g > 0, "dcqcn_g must be > 0")
+        _require(self.dcqcn_rate_decrease_interval_ns > 0,
+                 "dcqcn_rate_decrease_interval_ns must be > 0")
+        _require(self.dcqcn_recovery_interval_ns > 0,
+                 "dcqcn_recovery_interval_ns must be > 0")
+        _require(self.dcqcn_fast_recovery_steps >= 0,
+                 "dcqcn_fast_recovery_steps must be >= 0")
+        _require(self.dcqcn_rate_ai_bytes_per_ns > 0,
+                 "dcqcn_rate_ai_bytes_per_ns must be > 0")
+        _require(self.dcqcn_rate_hai_bytes_per_ns > 0,
+                 "dcqcn_rate_hai_bytes_per_ns must be > 0")
+        _require(self.dcqcn_min_rate_bytes_per_ns > 0,
+                 "dcqcn_min_rate_bytes_per_ns must be > 0")
+
     def resolved(self) -> "CongestionConfig":
         """Apply the CLI environment overrides (unless ``honor_env`` is
         False): ``REPRO_CONGESTION=1`` enables the switch model,
@@ -194,6 +247,15 @@ class NetConfig:
     #: Switched-fabric congestion model (default off: point-to-point).
     congestion: CongestionConfig = field(default_factory=CongestionConfig)
 
+    def __post_init__(self):
+        _require(self.bandwidth_bytes_per_ns > 0,
+                 "bandwidth_bytes_per_ns must be > 0")
+        _require(self.propagation_ns >= 0, "propagation_ns must be >= 0")
+        _require(self.per_packet_header_bytes >= 0,
+                 "per_packet_header_bytes must be >= 0")
+        _require(self.mtu >= 1, "mtu must be >= 1")
+        _require(self.ud_jitter_ns >= 0, "ud_jitter_ns must be >= 0")
+
 
 @dataclass
 class FlockConfig:
@@ -223,6 +285,21 @@ class FlockConfig:
     #: Selective signaling: one signaled WR out of N.
     signal_every: int = 16
 
+    def __post_init__(self):
+        _require(self.max_aqp >= 1, "max_aqp must be >= 1")
+        _require(self.credit_batch >= 1, "credit_batch must be >= 1")
+        _require(0 <= self.credit_renew_threshold <= self.credit_batch,
+                 "need 0 <= credit_renew_threshold <= credit_batch")
+        _require(self.max_combine >= 1, "max_combine must be >= 1")
+        _require(self.max_combine_bytes >= 1, "max_combine_bytes must be >= 1")
+        _require(self.sched_interval_ns > 0, "sched_interval_ns must be > 0")
+        _require(self.thread_sched_interval_ns > 0,
+                 "thread_sched_interval_ns must be > 0")
+        _require(self.ring_slots >= 1, "ring_slots must be >= 1")
+        _require(self.ring_bytes >= 1, "ring_bytes must be >= 1")
+        _require(self.qps_per_handle >= 1, "qps_per_handle must be >= 1")
+        _require(self.signal_every >= 1, "signal_every must be >= 1")
+
 
 @dataclass
 class ClusterConfig:
@@ -235,3 +312,7 @@ class ClusterConfig:
     cpu: CpuConfig = field(default_factory=CpuConfig)
     net: NetConfig = field(default_factory=NetConfig)
     flock: FlockConfig = field(default_factory=FlockConfig)
+
+    def __post_init__(self):
+        _require(self.n_clients >= 1, "n_clients must be >= 1")
+        _require(self.n_servers >= 1, "n_servers must be >= 1")

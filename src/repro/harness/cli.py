@@ -106,6 +106,7 @@ from typing import List
 from ..obs import (
     Explanation,
     RunStore,
+    Scorecard,
     Telemetry,
     attribute,
     attribution_report,
@@ -143,6 +144,14 @@ from .microbench import (
     sweep_raw_reads,
     sweep_ud_rpc,
 )
+from ..search import (
+    SearchConfig,
+    explain_entry,
+    format_entry,
+    leaderboard_rows,
+    run_search,
+)
+from ..search.objectives import OBJECTIVES
 from .parallel import SweepPoint, default_jobs, run_sweep
 from .scorecards import (
     scorecard_fig2a,
@@ -151,6 +160,7 @@ from .scorecards import (
     scorecard_fig12,
     scorecard_fig14,
     scorecard_incast,
+    scorecard_search,
     scorecards_fig6_7_8,
 )
 from .tables import latency_cells, latency_columns, print_table
@@ -468,6 +478,90 @@ def cmd_incast(args) -> None:
                  "drops", "marks", "pauses"], rows)
     _collect_slo(args, results)
     _emit_scorecard(args, scorecard_incast(results))
+
+
+def _search_summary_scorecard(result) -> Scorecard:
+    """The light per-search scorecard recorded into run history, so
+    ``runs query label=<search_id>`` / ``figure=search`` slice it."""
+    sc = Scorecard("search", "scenario search: %s" % result.search_id)
+    best = result.best
+    sc.add_metric("best_score", best["score"] if best else 0.0,
+                  better="info")
+    sc.add_metric("n_evals", result.n_evals, better="info")
+    sc.add_metric("n_dedup", result.n_dedup, better="info")
+    sc.meta["search"] = {
+        "search_id": result.search_id,
+        "objective": result.objective,
+        "seed": result.seed,
+        "budget": result.budget,
+        "leaderboard": [
+            {"rank": rank, "fingerprint": e["fingerprint"],
+             "score": e["score"]}
+            for rank, e in enumerate(result.leaderboard[:10], start=1)],
+    }
+    return sc
+
+
+def cmd_search(args) -> int:
+    """Adversarial scenario search (see docs/search.md)."""
+    cfg = SearchConfig(objective=args.objective, budget=args.budget,
+                       seed=args.seed, jobs=default_jobs(args.jobs),
+                       warmup=args.warmup, elites=args.elites)
+    result = run_search(cfg, progress=print)
+    columns, rows = leaderboard_rows(result, args.top)
+    print_table("leaderboard: %s (%d evals, %d dedup)"
+                % (result.search_id, result.n_evals, result.n_dedup),
+                columns, rows)
+
+    n_explain = (args.explain_top if args.explain_top is not None
+                 else min(3, len(result.leaderboard)))
+    details = []
+    for rank, entry in enumerate(result.leaderboard[:n_explain], start=1):
+        detail = explain_entry(entry, seed=cfg.seed)
+        details.append(detail)
+        print()
+        print(format_entry(detail, rank))
+
+    if args.json:
+        payload = {"search": result.to_dict(), "explanations": details}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print()
+        print("wrote search result: %s" % args.json)
+
+    exported = []
+    if args.export_scenario:
+        name, _, rank_text = args.export_scenario.partition(":")
+        rank = int(rank_text) if rank_text else 1
+        if not 1 <= rank <= len(result.leaderboard):
+            print("--export-scenario: rank %d out of range (1..%d)"
+                  % (rank, len(result.leaderboard)))
+            return 1
+        if rank <= len(details):
+            detail = details[rank - 1]
+        else:
+            detail = explain_entry(result.leaderboard[rank - 1],
+                                   seed=cfg.seed)
+        sc = scorecard_search(name, detail, objective=result.objective)
+        sc.meta["bench_scale"] = bench_scale()
+        path = sc.write(args.scorecard or ".")
+        print("wrote scenario scorecard: %s (%s)"
+              % (path, "PASS" if sc.passed else "FAIL"))
+        exported.append(sc)
+
+    if not args.no_record:
+        try:
+            rec = RunStore(args.store).record(
+                [_search_summary_scorecard(result)] + exported,
+                label=result.search_id,
+                meta={"objective": result.objective, "seed": result.seed,
+                      "budget": result.budget})
+            print("recorded search run %d (label %s)"
+                  % (rec.run_id, result.search_id))
+        except OSError as exc:
+            print("warning: could not record search run: %s" % exc)
+    return 0
 
 
 def _emit_attribution(args, telemetry) -> None:
@@ -951,6 +1045,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figures", nargs="+", default=None,
                    help="restrict the comparison to these figures")
     p.set_defaults(fn=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "search",
+        help="adversarial scenario search: hunt workload/config points "
+             "that maximize an anomaly objective (docs/search.md)")
+    p.add_argument("--budget", type=int, default=24, metavar="N",
+                   help="unique candidate evaluations (default 24)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="root seed; the leaderboard is byte-identical "
+                        "for a fixed (seed, budget, objective) at any "
+                        "--jobs (default 7)")
+    p.add_argument("--objective", default="tail_ratio",
+                   help="objective spec: %s; attribution_shift takes an "
+                        "optional :resource arg (default tail_ratio)"
+                        % ", ".join(sorted(OBJECTIVES)))
+    p.add_argument("--warmup", type=int, default=0, metavar="N",
+                   help="random candidates before the climb "
+                        "(default: a third of the budget)")
+    p.add_argument("--elites", type=int, default=4, metavar="N",
+                   help="frontier slots mutated per generation")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="leaderboard rows to print (default 10)")
+    p.add_argument("--explain-top", type=int, default=None, metavar="K",
+                   help="entries to re-run traced and explain "
+                        "(default: top 3)")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="write the full result + explanations as JSON")
+    p.add_argument("--export-scenario", metavar="NAME[:RANK]", default=None,
+                   help="freeze the RANK-th candidate (default 1) as a "
+                        "BENCH_search_<NAME>.json scorecard in the "
+                        "--scorecard dir (default .)")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="run-store directory for the search-history "
+                        "record (default: benchmarks/runstore)")
+    p.add_argument("--no-record", action="store_true",
+                   help="skip recording the search into run history")
+    p.set_defaults(fn=cmd_search)
 
     p = sub.add_parser("runs", help="queryable run history: list / show "
                                     "/ diff / record / query")

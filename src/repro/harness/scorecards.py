@@ -35,6 +35,7 @@ __all__ = [
     "scorecard_fig14",
     "scorecard_fig15",
     "scorecard_incast",
+    "scorecard_search",
 ]
 
 
@@ -649,3 +650,95 @@ def scorecard_fig15(results: Dict[tuple, object]) -> Scorecard:
     return _txn_scorecard("fig15", "Smallbank transactions", results,
                           win_threads=(4, 8), win_ratio=1.15,
                           tail_thread=1)
+
+
+def scorecard_search(name: str, evaluation: Dict, *, objective: str = "",
+                     description: str = "",
+                     expected_top_resource: Optional[str] = None,
+                     expect_anomaly_records: bool = True,
+                     max_goodput_retained: Optional[float] = None
+                     ) -> Scorecard:
+    """A search-discovered anomaly scenario as a permanent gate.
+
+    ``evaluation`` is the traced+explained form of one search candidate
+    (:func:`repro.search.report.explain_entry`): both legs' headline
+    numbers, the detector's anomaly records, and the baseline->scenario
+    attribution shift.  The gate pins the *pathology*: the two legs'
+    throughputs, the goodput collapse and tail inflation that made the
+    candidate score, the anomaly count, and the prime-suspect resource
+    of the attribution shift.  A code change that silently heals (or
+    worsens) the found cliff trips the baseline comparison.
+
+    ``expect_anomaly_records=False`` is for *steady-state* pathologies
+    (e.g. a sustained PFC pause storm): the within-run detectors key on
+    mid-run transitions, so a uniformly-bad window legitimately has no
+    records — the collapse bound (``max_goodput_retained``) carries the
+    anomaly assertion instead.
+    """
+    sc = Scorecard("search_%s" % name,
+                   description or "search-discovered anomaly: %s" % name)
+    base = evaluation.get("baseline", {})
+    cong = evaluation.get("scenario", {})
+    sc.add_metric("baseline_mops", base.get("mops", 0.0),
+                  better="higher", rtol=0.05, unit="Mops")
+    sc.add_metric("scenario_mops", cong.get("mops", 0.0),
+                  better="equal", rtol=0.10, unit="Mops")
+    sc.add_metric("goodput_retained",
+                  evaluation.get("goodput_retained", 0.0),
+                  better="equal", rtol=0.10, atol=0.02)
+    sc.add_metric("tail_ratio", evaluation.get("tail_ratio", 0.0),
+                  better="equal", rtol=0.20)
+    sc.add_metric("scenario_p99_us", cong.get("p99_us", 0.0),
+                  better="equal", rtol=0.20, unit="us")
+    if "score" in evaluation:
+        sc.add_metric("score", evaluation["score"], better="info")
+
+    anomalies = evaluation.get("anomalies", {})
+    n_anomalies = sum(len(v) for v in anomalies.values())
+    sc.add_metric("n_anomalies", n_anomalies, better="info")
+    if expect_anomaly_records:
+        sc.add_check("anomaly_detected", n_anomalies > 0,
+                     "the detectors flag the scenario (%d anomaly "
+                     "record(s))" % n_anomalies)
+    if max_goodput_retained is not None:
+        retained = evaluation.get("goodput_retained", 1.0)
+        sc.add_check(
+            "goodput_collapses",
+            retained <= max_goodput_retained,
+            "the scenario keeps <= %.0f%% of its uncongested goodput "
+            "(got %.1f%%)" % (100 * max_goodput_retained, 100 * retained))
+
+    shifts = evaluation.get("shift", [])
+    top = evaluation.get("top_resource")
+    top_delta = shifts[0]["delta"] if shifts else 0.0
+    sc.add_check(
+        "attribution_shift_present",
+        bool(top) and top_delta >= 0.05,
+        "critical-path attribution moves >= 5%% of blocked-time share "
+        "between the legs (top: %s %+.3f)" % (top, top_delta))
+    if expected_top_resource is not None:
+        # Membership among the strong gainers, not strict rank-1: two
+        # co-moving resources (queue + throttle) may swap closely-ranked
+        # deltas without changing the pathology's identity.
+        suspects = [row["resource"] for row in shifts[:3]
+                    if row["delta"] >= 0.05]
+        sc.add_check(
+            "expected_suspect",
+            expected_top_resource in suspects,
+            "%s gains >= 5%% share (top gainers: %s)"
+            % (expected_top_resource, ", ".join(suspects) or "none"))
+
+    sc.meta["search"] = {
+        "objective": objective,
+        "fingerprint": evaluation.get("fingerprint", ""),
+        "point": evaluation.get("point", {}),
+        "shift": shifts,
+        "top_resource": top,
+    }
+    if anomalies:
+        sc.meta["anomalies"] = {"runs": anomalies}
+    if evaluation.get("explanations"):
+        sc.meta["explanations"] = evaluation["explanations"]
+    if evaluation.get("attribution"):
+        sc.meta["attribution"] = evaluation["attribution"]
+    return sc

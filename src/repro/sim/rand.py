@@ -8,6 +8,7 @@ experiment is exactly reproducible.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
 import zlib
@@ -36,8 +37,16 @@ class Streams:
         of which worker process runs it or in what order.  The same
         derivation is used on the serial path, which is what makes
         ``--jobs N`` output byte-identical to ``--jobs 1``.
+
+        The id is hashed in full (BLAKE2b over ``"seed:point_id"``) rather
+        than through a 32-bit checksum: the scenario search derives one
+        child per candidate fingerprint, and at 10k+ structured ids a
+        truncated hash has a non-negligible birthday-collision risk that
+        would silently correlate two candidates' randomness.
         """
-        child_seed = (self.seed << 32) ^ zlib.crc32(point_id.encode())
+        material = ("%d:%s" % (self.seed, point_id)).encode()
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        child_seed = int.from_bytes(digest, "big")
         # Fold to a stable, positive 63-bit value so the child can itself
         # derive grandchildren without unbounded seed growth.
         return Streams(child_seed & 0x7FFFFFFFFFFFFFFF)

@@ -72,6 +72,26 @@ class TestCliffs:
         assert out[0].direction == "rise"
         assert "jumps" in out[0].detail
 
+    def test_short_curves_are_silent(self):
+        # Fewer than two points means no adjacent pair to compare.
+        assert detect_cliffs([], []) == []
+        assert detect_cliffs([1], [10.0]) == []
+
+    def test_all_zero_levels_are_skipped(self):
+        # A 0 -> 0 step has no local level to be relative to; it must
+        # not divide by zero or fabricate a 100% cliff.
+        assert detect_cliffs([1, 2, 3], [0.0, 0.0, 0.0]) == []
+
+    def test_zero_to_nonzero_is_a_full_cliff(self):
+        out = detect_cliffs([1, 2], [0.0, 8.0])
+        assert len(out) == 1
+        assert out[0].direction == "rise"
+        assert out[0].severity == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            detect_cliffs([1, 2, 3], [1.0, 2.0])
+
 
 class TestKnees:
     def test_saturation_knee_above_chord(self):
@@ -85,7 +105,21 @@ class TestKnees:
         assert knee.x in (176.0, 704.0)
 
     def test_needs_three_points(self):
+        # 0, 1 and 2 points: no interior point exists to bend at.
+        assert detect_knees([], []) == []
+        assert detect_knees([1], [1.0]) == []
         assert detect_knees([1, 2], [1.0, 2.0]) == []
+
+    def test_three_point_bend_is_found(self):
+        # The minimal curve with an interior point: sharp saturation.
+        out = detect_knees([1, 2, 3], [0.0, 10.0, 10.0])
+        assert len(out) == 1
+        assert out[0].x == 2
+        assert out[0].direction == "rise"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="equal length"):
+            detect_knees([1, 2], [1.0, 2.0, 3.0])
 
     def test_flat_curve_has_no_knee(self):
         assert detect_knees([1, 2, 3, 4], [5.0, 5.0, 5.0, 5.0]) == []
@@ -250,6 +284,50 @@ class TestDiffAnomalySets:
         a = self.block()["sweep"][0]
         d = diff_anomaly_sets({"sweep": [a]}, {"runs": {"flock": [a]}})
         assert len(d["new"]) == 1 and len(d["vanished"]) == 1
+
+    def test_duplicate_identities_keyed_by_occurrence(self):
+        """Two anomalies with the same (scope, kind, series, metric) are
+        numbered in order, so a matched pair with identical positions is
+        quiet — not collapsed into one record."""
+        a1 = self.block(x=704.0)["sweep"][0]
+        a2 = self.block(x=2816.0)["sweep"][0]
+        d = diff_anomaly_sets({"sweep": [a1, a2]}, {"sweep": [a1, a2]})
+        assert d == {"new": [], "vanished": [], "moved": []}
+
+    def test_lost_occurrence_vanishes_not_moves(self):
+        """Dropping one of two same-identity anomalies is a *vanished*
+        second occurrence; the surviving first occurrence still matches
+        positionally."""
+        a1 = self.block(x=704.0)["sweep"][0]
+        a2 = self.block(x=2816.0)["sweep"][0]
+        d = diff_anomaly_sets({"sweep": [a1, a2]}, {"sweep": [a1]})
+        assert d["new"] == [] and d["moved"] == []
+        assert len(d["vanished"]) == 1
+        assert "2816" in d["vanished"][0]
+
+    def test_occurrences_pair_in_order(self):
+        # Both sides hold two occurrences; the second one moved.
+        a1 = self.block(x=704.0)["sweep"][0]
+        a2 = self.block(x=2816.0)["sweep"][0]
+        a2_moved = self.block(x=5632.0)["sweep"][0]
+        d = diff_anomaly_sets({"sweep": [a1, a2]},
+                              {"sweep": [a1, a2_moved]})
+        assert d["new"] == [] and d["vanished"] == []
+        assert len(d["moved"]) == 1
+        assert "2816" in d["moved"][0] and "5632" in d["moved"][0]
+
+    def test_moved_rel_tol_suppresses_small_drift(self):
+        base, near = self.block(x=1000.0), self.block(x=1040.0)
+        strict = diff_anomaly_sets(base, near)
+        assert len(strict["moved"]) == 1
+        lax = diff_anomaly_sets(base, near, moved_rel_tol=0.05)
+        assert lax == {"new": [], "vanished": [], "moved": []}
+
+    def test_empty_blocks_are_quiet(self):
+        assert diff_anomaly_sets(None, None) == \
+            {"new": [], "vanished": [], "moved": []}
+        assert diff_anomaly_sets({}, {"sweep": []}) == \
+            {"new": [], "vanished": [], "moved": []}
 
 
 class TestExplain:
