@@ -105,9 +105,17 @@ class IncastConfig:
 def _switch_extras(fabric) -> dict:
     """Congestion-side observables for the run's extras block."""
     sw = fabric.switch
+    extras = {"fidelity": fabric.fidelity.mode}
+    if fabric.fidelity_controller is not None:
+        fid = fabric.fidelity_controller
+        extras["fidelity_demotions"] = fid.demotions
+        extras["fidelity_promotions"] = fid.promotions
+        extras["fidelity_demoted_ports"] = sorted(
+            name for name, st in fid.ports.items() if st.demotions)
     if sw is None:
-        return {"congested": False}
-    return {
+        extras["congested"] = False
+        return extras
+    extras.update({
         "congested": True,
         "pfc": sw.cfg.pfc,
         "buffer_bytes": sw.cfg.buffer_bytes,
@@ -116,7 +124,8 @@ def _switch_extras(fabric) -> dict:
         "ecn_marks": sw.total_ecn_marks,
         "pfc_pauses": sw.total_pause_events,
         "cnps": fabric.cnps_delivered,
-    }
+    })
+    return extras
 
 
 def run_incast_flock(cfg: IncastConfig, *, congested: bool,

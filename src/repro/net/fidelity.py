@@ -1,0 +1,149 @@
+"""Hybrid fidelity controller: spend packet-level fidelity at hotspots.
+
+In ``--fidelity hybrid`` the fabric asks this controller, per transfer,
+which transport model the destination's egress port should use.  Cold
+ports ride the fluid fast path (:class:`repro.net.flow.FluidModel`);
+a port showing *heat* — queue depth approaching the ECN knee, fresh
+ECN marks / PFC pauses / tail drops, or QP-cache thrash saturating the
+destination NIC's PCIe link — is **demoted** to the stepped
+:class:`repro.net.transport.PacketModel`, where the nonlinear machinery
+(Bernoulli ECN, pause propagation, slot-limited PCIe) actually runs.
+Once a demoted port has stayed quiet for ``promote_quiet_ns`` it is
+**promoted** back to fluid (hysteresis, so a port flapping around a
+threshold doesn't oscillate every message).
+
+Transitions are observable three ways: the ``fidelity.demotions`` /
+``fidelity.promotions`` counters (anomaly-visible like any counter
+source), the ``fidelity.demoted_ports`` gauge, and
+:meth:`FidelityController.snapshot` for reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from ..config import FidelityConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fabric import Fabric, Node
+    from .transport import TransportModel
+
+__all__ = ["FidelityController", "PortFidelity"]
+
+
+class PortFidelity:
+    """Demotion state for one egress port."""
+
+    __slots__ = ("demoted", "hot_until", "demotions", "promotions",
+                 "last_marks", "last_pauses", "last_drops")
+
+    def __init__(self):
+        self.demoted = False
+        #: Earliest virtual time a demoted port may promote back.
+        self.hot_until = 0.0
+        self.demotions = 0
+        self.promotions = 0
+        # High-water marks of the port's heat counters at the last
+        # check; any growth since is fresh heat.
+        self.last_marks = 0
+        self.last_pauses = 0
+        self.last_drops = 0
+
+
+class FidelityController:
+    """Per-egress-port packet/fluid arbitration with hysteresis."""
+
+    def __init__(self, fabric: "Fabric", cfg: FidelityConfig,
+                 packet: "TransportModel", fluid: "TransportModel"):
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.cfg = cfg
+        self.packet = packet
+        self.fluid = fluid
+        self.ports: Dict[str, PortFidelity] = {}
+        self.demotions = 0
+        self.promotions = 0
+        congestion = fabric.congestion
+        #: Depth at which a port is hot, as a fraction of the ECN knee —
+        #: by default demotion happens right where marking would start,
+        #: so the stepped model owns every marked message.
+        self._demote_depth = (congestion.ecn_kmin_bytes
+                              * cfg.demote_depth_frac)
+        metrics = fabric.sim.metrics
+        self._m_demotions = metrics.counter("fidelity.demotions")
+        self._m_promotions = metrics.counter("fidelity.promotions")
+        if metrics.enabled:
+            metrics.gauge(
+                "fidelity.demoted_ports",
+                fn=lambda: sum(1 for st in self.ports.values()
+                               if st.demoted))
+
+    def _state_for(self, dst_name: str) -> PortFidelity:
+        st = self.ports.get(dst_name)
+        if st is None:
+            st = PortFidelity()
+            self.ports[dst_name] = st
+        return st
+
+    def _is_hot(self, dst: "Node", st: PortFidelity, now: float) -> bool:
+        switch = self.fabric.switch
+        if switch is not None:
+            port = switch.ports.get(dst.name)
+            if port is not None:
+                fresh = (port.ecn_marks > st.last_marks
+                         or port.pause_events > st.last_pauses
+                         or port.dropped_msgs > st.last_drops)
+                st.last_marks = port.ecn_marks
+                st.last_pauses = port.pause_events
+                st.last_drops = port.dropped_msgs
+                if fresh or port.depth_bytes(now) >= self._demote_depth:
+                    return True
+        # QP-cache thrash: the destination NIC's PCIe link saturating on
+        # state fetches is exactly the regime the stepped slot model was
+        # calibrated for.  Check both the stepped signal (busy slots
+        # plus the queue behind them) and the fluid backlog clock,
+        # whichever path has been running.
+        pcie = dst.rnic.pcie
+        thrash = dst.rnic.cfg.miss_slots * self.cfg.thrash_outstanding_frac
+        if pcie.outstanding + pcie.queued >= thrash:
+            return True
+        return pcie._fluid_queue_ns >= (pcie.read_latency_ns
+                                        * self.cfg.thrash_outstanding_frac)
+
+    def model_for(self, dst: "Node") -> "TransportModel":
+        """The transport model ``dst``'s egress port should use now."""
+        now = self.sim.now
+        st = self._state_for(dst.name)
+        if self._is_hot(dst, st, now):
+            st.hot_until = now + self.cfg.promote_quiet_ns
+            if not st.demoted:
+                st.demoted = True
+                st.demotions += 1
+                self.demotions += 1
+                self._m_demotions.inc()
+            return self.packet
+        if st.demoted and now >= st.hot_until:
+            st.demoted = False
+            st.promotions += 1
+            self.promotions += 1
+            self._m_promotions.inc()
+        return self.packet if st.demoted else self.fluid
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "demotions": self.demotions,
+            "promotions": self.promotions,
+            "demoted_ports": sorted(
+                name for name, st in self.ports.items() if st.demoted),
+            "ports": {
+                name: {
+                    "demoted": st.demoted,
+                    "demotions": st.demotions,
+                    "promotions": st.promotions,
+                }
+                for name, st in sorted(self.ports.items())
+                if st.demotions
+            },
+        }

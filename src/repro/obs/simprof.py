@@ -85,7 +85,11 @@ def component_bucket(filename: str) -> str:
     head = sub[0]
     leaf = sub[-1]
     if head == "net":
-        return "switch" if len(sub) > 1 and sub[1] == "congestion" else "fabric"
+        if len(sub) > 1 and sub[1] == "congestion":
+            return "switch"
+        if leaf.startswith("flow") or leaf.startswith("fidelity"):
+            return "flow"
+        return "fabric"
     if head == "hw":
         return "pcie" if leaf.startswith("pcie") else "rnic"
     if head == "verbs":
@@ -145,6 +149,12 @@ class SimProfile:
         charged to the resumed generator's module, a plain callback to
         the function's module.  Class names are duck-typed to keep this
         module import-independent of the kernel.
+
+        A process resume walks the generator's ``yield from`` chain to
+        the *innermost* active frame: an app-spawned RPC blocked inside
+        ``switch.traverse`` is switch cost, not app cost.  That is what
+        makes "fabric-owned events" measurable — the datum the
+        fluid-vs-packet bench gate compares.
         """
         if not callbacks:
             if type(event).__name__ == "Timeout":
@@ -154,6 +164,12 @@ class SimProfile:
         owner = getattr(cb, "__self__", None)
         gen = getattr(owner, "gen", None)
         if gen is not None:
+            sub = getattr(gen, "gi_yieldfrom", None)
+            while sub is not None:
+                if getattr(sub, "gi_code", None) is None:
+                    break
+                gen = sub
+                sub = getattr(sub, "gi_yieldfrom", None)
             return self._bucket_of(gen.gi_code) + ";process"
         kind = "timer" if type(event).__name__ == "Timeout" else "callback"
         func = getattr(cb, "__func__", cb)

@@ -324,14 +324,20 @@ class TokenBucket:
         self._tokens = self.burst
         self._last = 0.0
 
-    def _refill(self) -> None:
-        now = self.sim.now
-        self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
-        self._last = now
+    def delay_for(self, tokens: float = 1.0, at: Optional[float] = None) -> float:
+        """Consume ``tokens`` and return the ns to wait before proceeding.
 
-    def delay_for(self, tokens: float = 1.0) -> float:
-        """Consume ``tokens`` and return the ns to wait before proceeding."""
-        self._refill()
+        ``at`` refills as of a (future) reference time instead of the
+        clock — used by the fluid transport model, which charges
+        receive-side costs at the computed arrival time without
+        advancing the simulation.  Out-of-order reference times never
+        rewind the refill clock.
+        """
+        now = self.sim.now if at is None else at
+        if now > self._last:
+            self._tokens = min(self.burst,
+                               self._tokens + (now - self._last) * self.rate)
+            self._last = now
         self._tokens -= tokens
         if self._tokens >= 0:
             return 0.0
